@@ -1,0 +1,21 @@
+"""Benchmark-session configuration: prints the per-figure tables at the end."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import harness  # noqa: E402
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not harness.RESULTS:
+        return
+    print("\n")
+    print("=" * 78)
+    print("Reproduced evaluation tables (paper: 'Bridging Control-Centric and")
+    print("Data-Centric Optimization', CGO 2023) — runtimes on this substrate")
+    print("=" * 78)
+    for figure in sorted(harness.RESULTS):
+        print(f"\n--- {figure} ---")
+        print(harness.figure_table(figure))

@@ -1,0 +1,94 @@
+"""Shared benchmark harness.
+
+Provides helpers to compile a workload once per pipeline (compilation time
+is reported separately, as in §7.2), run it under ``pytest-benchmark``, and
+summarize pipeline-vs-pipeline speedups (geometric means, per-figure rows)
+the way the paper's evaluation reports them.  The raw measurements are also
+accumulated into a module-level registry so ``bench_summary`` can print the
+full Fig. 6-style table at the end of a benchmark session.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional
+
+from repro import CompileResult, compile_c, run_compiled
+
+#: Pipelines compared in the paper's figures.
+FIGURE_PIPELINES = ["gcc", "clang", "dace", "mlir", "dcir"]
+
+#: (figure, workload, pipeline) -> seconds, filled in by the bench modules.
+RESULTS: Dict[str, Dict[str, Dict[str, float]]] = defaultdict(lambda: defaultdict(dict))
+
+_COMPILE_CACHE: Dict[tuple, CompileResult] = {}
+
+
+def compile_cached(source: str, pipeline: str) -> CompileResult:
+    """Compile once per (source, pipeline); benchmarks measure run time only."""
+    key = (hash(source), pipeline)
+    if key not in _COMPILE_CACHE:
+        _COMPILE_CACHE[key] = compile_c(source, pipeline)
+    return _COMPILE_CACHE[key]
+
+
+def time_pipeline(
+    benchmark, source: str, pipeline: str, figure: str, workload: str, repetitions: int = 1
+):
+    """Benchmark one (workload, pipeline) pair and record the result."""
+    compiled = compile_cached(source, pipeline)
+
+    def _run():
+        return compiled.run()
+
+    outputs = benchmark.pedantic(_run, rounds=max(1, repetitions), iterations=1, warmup_rounds=0)
+    seconds = benchmark.stats.stats.min
+    RESULTS[figure][workload][pipeline] = seconds
+    return outputs
+
+
+def record_manual(figure: str, workload: str, pipeline: str, seconds: float) -> None:
+    RESULTS[figure][workload][pipeline] = seconds
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = [value for value in values if value > 0]
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def speedups_over(figure: str, baseline: str, target: str = "dcir") -> Dict[str, float]:
+    """Per-workload speedup of ``target`` over ``baseline`` for a figure."""
+    speedups: Dict[str, float] = {}
+    for workload, by_pipeline in RESULTS[figure].items():
+        if baseline in by_pipeline and target in by_pipeline and by_pipeline[target] > 0:
+            speedups[workload] = by_pipeline[baseline] / by_pipeline[target]
+    return speedups
+
+
+def figure_table(figure: str) -> str:
+    """Render the recorded results of one figure as an aligned text table."""
+    workloads = sorted(RESULTS[figure])
+    pipelines = [
+        pipeline
+        for pipeline in FIGURE_PIPELINES + ["dcir+vec"]
+        if any(pipeline in RESULTS[figure][w] for w in workloads)
+    ]
+    header = f"{'workload':<18}" + "".join(f"{p:>12}" for p in pipelines)
+    lines = [header, "-" * len(header)]
+    for workload in workloads:
+        row = f"{workload:<18}"
+        for pipeline in pipelines:
+            seconds = RESULTS[figure][workload].get(pipeline)
+            row += f"{seconds * 1e3:>10.2f}ms" if seconds is not None else f"{'-':>12}"
+        lines.append(row)
+    for baseline in ("mlir", "gcc", "clang", "dace"):
+        speedups = speedups_over(figure, baseline)
+        if speedups:
+            lines.append(
+                f"geomean DCIR speedup over {baseline:<6}: "
+                f"{geometric_mean(speedups.values()):.2f}x"
+            )
+    return "\n".join(lines)

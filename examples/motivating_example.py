@@ -1,0 +1,43 @@
+"""The paper's motivating example (Fig. 2): mixed control- and data-centric
+analysis eliminates all of the heavy loops.
+
+Run with::
+
+    python examples/motivating_example.py
+"""
+
+from repro import compile_c, run_compiled
+from repro.workloads import fig2_source
+
+
+def main() -> None:
+    source = fig2_source({"N": 700, "M": 70})
+    print("Input program (Fig. 2a):")
+    print(source)
+
+    print(f"{'pipeline':<10} {'result':>8} {'runtime':>12} {'eliminated containers'}")
+    for pipeline in ("gcc", "clang", "dace", "mlir", "dcir"):
+        compiled = compile_c(source, pipeline)
+        result = run_compiled(compiled, repetitions=3)
+        eliminated = len(compiled.eliminated_containers) if compiled.sdfg else 0
+        print(
+            f"{pipeline:<10} {result.return_value:>8} {result.seconds * 1e3:>10.2f}ms "
+            f"{eliminated:>4}"
+        )
+
+    dcir = compile_c(source, "dcir")
+    print("\nWhy DCIR wins:")
+    print(" - dead dataflow elimination removes every write to the array A")
+    print("   (its values are never observed after the control-centric passes")
+    print("   forward the constant store through the false dependency),")
+    print(" - array elimination then deletes A itself:", dcir.eliminated_containers)
+    print(" - redundant-iteration elimination collapses the outer loop, whose")
+    print("   remaining body no longer depends on the loop index.")
+    print("\nData movement (symbolic cost model):")
+    print("  DCIR  :", dcir.movement_report())
+    dace = compile_c(source, "dace")
+    print("  DaCe  :", dace.movement_report())
+
+
+if __name__ == "__main__":
+    main()

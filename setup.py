@@ -1,0 +1,5 @@
+"""Setup shim: enables `pip install -e .` / `python setup.py develop` on
+environments whose setuptools lacks PEP-660 editable-wheel support."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""DCIR reproduction: bridging control-centric and data-centric optimization.
+
+Re-implementation (in pure Python) of the system described in
+"Bridging Control-Centric and Data-Centric Optimization" (CGO 2023):
+an MLIR-like IR with control-centric passes, a DaCe-like SDFG IR with
+data-centric passes, the ``sdfg`` dialect bridging the two, and the DCIR
+compilation pipeline that combines them.
+
+Quick start::
+
+    from repro import compile_c, run_compiled
+
+    result = compile_c(C_SOURCE, pipeline="dcir")
+    print(run_compiled(result).return_value)
+"""
+
+from .pipeline import (
+    PIPELINES,
+    CompileResult,
+    PipelineError,
+    RunResult,
+    compile_and_run,
+    compile_c,
+    run_compiled,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompileResult",
+    "PIPELINES",
+    "PipelineError",
+    "RunResult",
+    "__version__",
+    "compile_and_run",
+    "compile_c",
+    "run_compiled",
+]

@@ -1,0 +1,45 @@
+"""Code generation backends and the data-movement cost model."""
+
+from .control_flow import (
+    BranchNode,
+    ControlFlowBuilder,
+    DispatchNode,
+    LoopNode,
+    SequenceNode,
+    StateNode,
+    build_control_flow,
+    states_in_tree,
+)
+from .cost_model import MovementReport, sdfg_movement_report
+from .mlir_python import CompiledMLIR, MLIRCodegenError, compile_mlir, generate_mlir_code
+from .sdfg_python import (
+    CodegenError,
+    CompiledSDFG,
+    SDFGPythonGenerator,
+    compile_sdfg,
+    generate_code,
+    python_expr,
+)
+
+__all__ = [
+    "BranchNode",
+    "CodegenError",
+    "CompiledMLIR",
+    "CompiledSDFG",
+    "ControlFlowBuilder",
+    "DispatchNode",
+    "LoopNode",
+    "MLIRCodegenError",
+    "MovementReport",
+    "SDFGPythonGenerator",
+    "SequenceNode",
+    "StateNode",
+    "build_control_flow",
+    "compile_mlir",
+    "compile_sdfg",
+    "generate_code",
+    "generate_mlir_code",
+    "python_expr",
+    "sdfg_movement_report",
+    "states_in_tree",
+]

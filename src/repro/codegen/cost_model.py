@@ -1,0 +1,145 @@
+"""Data-movement cost model.
+
+The paper explains performance differences through data movement (bytes
+moved, allocations on the critical path, cache behaviour measured with
+PAPI).  Native counters are not available here, so this module computes a
+static movement report from the IR itself: per-state memlet volumes are
+multiplied by the (symbolically evaluated) execution count of the state
+derived from the structured control-flow tree, and allocations are counted
+with the same multiplier.  The reports play the role of the paper's
+performance-counter analysis when explaining *why* one pipeline is faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..symbolic import Expr, Integer, SymbolicError
+from ..sdfg import SDFG, AccessNode, SDFGState
+from ..sdfg.data import Array, LIFETIME_PERSISTENT, Scalar
+from ..sdfg.nodes import MapEntry
+from .control_flow import (
+    BranchNode,
+    ControlFlowNode,
+    DispatchNode,
+    LoopNode,
+    SequenceNode,
+    StateNode,
+    build_control_flow,
+)
+
+
+@dataclass
+class MovementReport:
+    """Aggregate data-movement statistics for one program."""
+
+    elements_moved: float = 0.0
+    bytes_moved: float = 0.0
+    allocations: float = 0.0
+    allocated_bytes: float = 0.0
+    per_container: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, container: str, elements: float, element_bytes: int) -> None:
+        self.elements_moved += elements
+        self.bytes_moved += elements * element_bytes
+        self.per_container[container] = self.per_container.get(container, 0.0) + elements
+
+    def __str__(self) -> str:
+        return (
+            f"MovementReport(elements={self.elements_moved:.0f}, "
+            f"bytes={self.bytes_moved:.0f}, allocations={self.allocations:.0f})"
+        )
+
+
+def _evaluate(expression: Expr, symbols: Mapping[str, float], default: float = 1.0) -> float:
+    try:
+        return float(expression.evaluate(dict(symbols)))
+    except (SymbolicError, TypeError, ValueError):
+        return default
+
+
+def sdfg_movement_report(sdfg: SDFG, symbols: Optional[Mapping[str, float]] = None) -> MovementReport:
+    """Static data-movement report of an SDFG under given symbol values."""
+    symbols = dict(symbols or {})
+    symbols.update(sdfg.constants)
+    report = MovementReport()
+    tree = build_control_flow(sdfg)
+    _walk(sdfg, tree, 1.0, symbols, report)
+    return report
+
+
+def _walk(sdfg: SDFG, node: ControlFlowNode, multiplier: float, symbols, report) -> None:
+    if isinstance(node, SequenceNode):
+        for child in node.children:
+            _walk(sdfg, child, multiplier, symbols, report)
+    elif isinstance(node, StateNode):
+        _count_state(sdfg, node.state, multiplier, symbols, report)
+    elif isinstance(node, LoopNode):
+        trips = _loop_trip_count(sdfg, node, symbols)
+        _count_state(sdfg, node.guard, multiplier * (trips + 1), symbols, report)
+        _walk(sdfg, node.body, multiplier * trips, symbols, report)
+    elif isinstance(node, BranchNode):
+        # Both branches weighted by half (no branch-probability information).
+        _walk(sdfg, node.then_body, multiplier * 0.5, symbols, report)
+        _walk(sdfg, node.else_body, multiplier * 0.5, symbols, report)
+    elif isinstance(node, DispatchNode):
+        for state in node.states:
+            _count_state(sdfg, state, multiplier, symbols, report)
+
+
+def _loop_trip_count(sdfg: SDFG, node: LoopNode, symbols) -> float:
+    from ..transforms.loop_analysis import find_loops
+
+    for loop in find_loops(sdfg):
+        if loop.guard is node.guard:
+            trip = loop.trip_count()
+            if trip is not None:
+                return max(0.0, _evaluate(trip, symbols, default=1.0))
+    return 1.0
+
+
+def _count_state(sdfg: SDFG, state: SDFGState, multiplier: float, symbols, report: MovementReport) -> None:
+    # Allocation cost: non-persistent transient arrays allocate on every
+    # execution of the state that first touches them.
+    for name in state.read_set() | state.write_set():
+        descriptor = sdfg.arrays.get(name)
+        if (
+            isinstance(descriptor, Array)
+            and descriptor.transient
+            and descriptor.lifetime != LIFETIME_PERSISTENT
+        ):
+            report.allocations += multiplier
+            report.allocated_bytes += multiplier * _evaluate(descriptor.size_in_bytes(), symbols)
+
+    scope = state.scope_dict()
+    for edge in state.edges():
+        memlet = edge.data
+        if memlet.is_empty or memlet.data is None:
+            continue
+        descriptor = sdfg.arrays.get(memlet.data)
+        if descriptor is None:
+            continue
+        # Only count movement at container boundaries (edges touching access
+        # nodes), once per edge, scaled by enclosing map ranges.
+        if not isinstance(edge.src, AccessNode) and not isinstance(edge.dst, AccessNode):
+            continue
+        elements = _evaluate(memlet.volume, symbols, default=1.0)
+        scale = multiplier
+        entry = scope.get(edge.src) or scope.get(edge.dst)
+        while entry is not None:
+            for rng in entry.map.ranges:
+                scale *= max(1.0, _evaluate(rng.num_elements(), symbols, default=1.0))
+            entry = scope.get(entry)
+        report.add(memlet.data, elements * scale, descriptor.element_bytes())
+
+    # Persistent allocations are counted once, attributed to the start state.
+    if state is sdfg.start_state:
+        for name, descriptor in sdfg.arrays.items():
+            if (
+                isinstance(descriptor, Array)
+                and descriptor.transient
+                and descriptor.lifetime == LIFETIME_PERSISTENT
+            ):
+                report.allocations += 1
+                report.allocated_bytes += _evaluate(descriptor.size_in_bytes(), symbols)

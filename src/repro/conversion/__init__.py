@@ -1,0 +1,29 @@
+"""The MLIR ↔ SDFG bridge: converter (§5.1) and translator (§5.2)."""
+
+from .raise_tasklets import RaiseError, raise_tasklet
+from .symbols import SymbolicEvaluator
+from .to_sdfg_dialect import ConversionError, SDFGDialectConverter, convert_to_sdfg_dialect
+from .translator import SDFGTranslator, TranslationError, translate_module
+
+
+def mlir_to_sdfg(module, function=None):
+    """Full bridge: MLIR core dialects → sdfg dialect → SDFG IR.
+
+    This is the red/blue hand-off point of the DCIR pipeline (Fig. 4).
+    """
+    dialect_module = convert_to_sdfg_dialect(module, function=function)
+    return translate_module(dialect_module, function=function)
+
+
+__all__ = [
+    "ConversionError",
+    "RaiseError",
+    "SDFGDialectConverter",
+    "SDFGTranslator",
+    "SymbolicEvaluator",
+    "TranslationError",
+    "convert_to_sdfg_dialect",
+    "mlir_to_sdfg",
+    "raise_tasklet",
+    "translate_module",
+]

@@ -1,0 +1,137 @@
+"""Symbolic evaluation of MLIR SSA values during conversion (§3.1, §5.1).
+
+The converter tracks, for every SSA value it can, an equivalent symbolic
+expression over SDFG symbols: constants, loop induction variables (which
+become symbols when structured control flow is lowered to the state
+machine), and integer arithmetic over those.  Memlet subsets, loop bounds
+and state-transition conditions are then parametric — which is exactly the
+visibility data-centric optimizations require (§1).
+
+Values that cannot be represented symbolically (loads from memory,
+floating-point math) are routed through scalar data containers instead,
+and the scalar-to-symbol promotion pass (§6.1) may still lift them later.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..dialects import arith
+from ..ir.core import Operation, Value, defining_op
+from ..ir.types import FloatType, IndexType, IntegerType
+from ..symbolic import (
+    Compare,
+    Expr,
+    FloorDiv,
+    Integer,
+    Max,
+    Min,
+    Mod,
+    Not,
+    Float,
+)
+
+#: Integer arith ops with a direct symbolic counterpart.
+_SYMBOLIC_BINARY = {
+    "arith.addi": lambda a, b: a + b,
+    "arith.subi": lambda a, b: a - b,
+    "arith.muli": lambda a, b: a * b,
+    "arith.divsi": lambda a, b: FloorDiv.make(a, b),
+    "arith.floordivsi": lambda a, b: FloorDiv.make(a, b),
+    "arith.remsi": lambda a, b: Mod.make(a, b),
+    "arith.minsi": lambda a, b: Min.make(a, b),
+    "arith.maxsi": lambda a, b: Max.make(a, b),
+}
+
+_SYMBOLIC_CMP = {
+    "eq": "==",
+    "ne": "!=",
+    "slt": "<",
+    "sle": "<=",
+    "sgt": ">",
+    "sge": ">=",
+    "ult": "<",
+    "ule": "<=",
+    "ugt": ">",
+    "uge": ">=",
+}
+
+_IDENTITY_CASTS = (
+    "arith.index_cast",
+    "arith.extsi",
+    "arith.trunci",
+)
+
+
+class SymbolicEvaluator:
+    """Maps SSA values to symbolic expressions where possible."""
+
+    def __init__(self):
+        self._table: Dict[Value, Expr] = {}
+
+    def bind(self, value: Value, expression: Expr) -> None:
+        self._table[value] = expression
+
+    def get(self, value: Value) -> Optional[Expr]:
+        """The symbolic expression of ``value``, deriving it on demand."""
+        if value in self._table:
+            return self._table[value]
+        expression = self._derive(value)
+        if expression is not None:
+            self._table[value] = expression
+        return expression
+
+    def all_symbolic(self, values) -> bool:
+        return all(self.get(value) is not None for value in values)
+
+    # -- derivation -------------------------------------------------------------
+    def _derive(self, value: Value) -> Optional[Expr]:
+        op = defining_op(value)
+        if op is None:
+            return None
+        name = op.name
+        if name == "arith.constant":
+            constant = op.attributes["value"]
+            if isinstance(value.type, (IntegerType, IndexType)):
+                return Integer(int(constant))
+            return Float(float(constant))
+        if name in _IDENTITY_CASTS:
+            return self.get(op.operand(0))
+        if name in _SYMBOLIC_BINARY:
+            lhs = self.get(op.operand(0))
+            rhs = self.get(op.operand(1))
+            if lhs is None or rhs is None:
+                return None
+            if name in ("arith.divsi", "arith.remsi", "arith.floordivsi"):
+                if not (rhs.is_constant() and rhs.evaluate({}) != 0):
+                    # Avoid symbolic division by possibly-zero expressions.
+                    if not rhs.free_symbols():
+                        return None
+            return _SYMBOLIC_BINARY[name](lhs, rhs)
+        if name == "arith.cmpi":
+            lhs = self.get(op.operand(0))
+            rhs = self.get(op.operand(1))
+            if lhs is None or rhs is None:
+                return None
+            return Compare.make(_SYMBOLIC_CMP[op.attributes["predicate"]], lhs, rhs)
+        if name == "arith.select":
+            # Selects are handled as tasklets; no symbolic form.
+            return None
+        if name == "arith.xori":
+            # i1 negation idiom: xor with constant 1.
+            rhs_expr = self.get(op.operand(1))
+            lhs_expr = self.get(op.operand(0))
+            if rhs_expr == Integer(1) and lhs_expr is not None:
+                return Not.make(lhs_expr)
+            return None
+        if name in ("arith.andi", "arith.ori"):
+            lhs = self.get(op.operand(0))
+            rhs = self.get(op.operand(1))
+            if lhs is None or rhs is None:
+                return None
+            from ..symbolic import And, Or
+
+            if isinstance(value.type, IntegerType) and value.type.width == 1:
+                return And.make(lhs, rhs) if name == "arith.andi" else Or.make(lhs, rhs)
+            return None
+        return None

@@ -1,0 +1,59 @@
+"""Builtin dialect: the top-level module operation."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..ir.core import Operation, Region, register_operation
+
+
+@register_operation
+class ModuleOp(Operation):
+    """Top-level container holding functions (and sdfg.sdfg ops)."""
+
+    OP_NAME = "builtin.module"
+    IS_ISOLATED_FROM_ABOVE = True
+
+    @staticmethod
+    def build(name: Optional[str] = None) -> "ModuleOp":
+        op = ModuleOp(ModuleOp.OP_NAME, regions=1)
+        op.regions[0].add_block()
+        if name:
+            op.attributes["sym_name"] = name
+        return op
+
+    @property
+    def body(self):
+        return self.regions[0].entry_block
+
+    def functions(self) -> Iterator[Operation]:
+        """All function-like operations directly inside the module."""
+        for op in self.body.operations:
+            if op.name in ("func.func", "sdfg.sdfg"):
+                yield op
+
+    def lookup(self, symbol_name: str) -> Optional[Operation]:
+        """Find a directly nested op by its ``sym_name`` attribute."""
+        for op in self.body.operations:
+            if op.get_attr("sym_name") == symbol_name:
+                return op
+        return None
+
+    def print_custom(self, printer, depth: int):
+        printer._emit(depth, "module {")
+        printer._print_region(self.regions[0], depth)
+        printer._emit(depth, "}")
+        return True
+
+
+@register_operation
+class UnrealizedConversionCastOp(Operation):
+    """Type adaptor used during dialect conversion (mirrors MLIR's op)."""
+
+    OP_NAME = "builtin.unrealized_conversion_cast"
+
+    @staticmethod
+    def build(value, result_type) -> "UnrealizedConversionCastOp":
+        return UnrealizedConversionCastOp(
+            UnrealizedConversionCastOp.OP_NAME, operands=[value], result_types=[result_type]
+        )

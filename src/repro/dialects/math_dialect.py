@@ -1,0 +1,128 @@
+"""``math`` dialect: transcendental functions emitted for C math calls.
+
+Each op takes one (or two for ``math.powf``/``math.atan2``) floating-point
+operands and produces a result of the same type.  The table at the bottom
+maps each op to the Python/numpy function used by code generation and
+constant folding, so that every pipeline computes identical values.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+from ..ir.core import Operation, Value, register_operation
+from ..ir.verifier import VerificationError
+
+
+class UnaryMathOp(Operation):
+    """Shared implementation of single-operand math ops."""
+
+    @classmethod
+    def build(cls, value: Value) -> "UnaryMathOp":
+        return cls(cls.OP_NAME, operands=[value], result_types=[value.type])
+
+    def verify_op(self) -> None:
+        if len(self.operands) != 1:
+            raise VerificationError(f"{self.name} requires exactly one operand", self)
+
+
+class BinaryMathOp(Operation):
+    """Shared implementation of two-operand math ops (pow, atan2)."""
+
+    @classmethod
+    def build(cls, lhs: Value, rhs: Value) -> "BinaryMathOp":
+        return cls(cls.OP_NAME, operands=[lhs, rhs], result_types=[lhs.type])
+
+    def verify_op(self) -> None:
+        if len(self.operands) != 2:
+            raise VerificationError(f"{self.name} requires exactly two operands", self)
+
+
+def _unary(name: str) -> type:
+    return register_operation(type(name.replace(".", "_"), (UnaryMathOp,), {"OP_NAME": name}))
+
+
+def _binary(name: str) -> type:
+    return register_operation(type(name.replace(".", "_"), (BinaryMathOp,), {"OP_NAME": name}))
+
+
+ExpOp = _unary("math.exp")
+LogOp = _unary("math.log")
+Log2Op = _unary("math.log2")
+SqrtOp = _unary("math.sqrt")
+AbsFOp = _unary("math.absf")
+SinOp = _unary("math.sin")
+CosOp = _unary("math.cos")
+TanhOp = _unary("math.tanh")
+FloorOp = _unary("math.floor")
+CeilOp = _unary("math.ceil")
+PowFOp = _binary("math.powf")
+Atan2Op = _binary("math.atan2")
+
+
+#: Python-level semantics for folding and interpretation.
+MATH_SEMANTICS: Dict[str, Callable] = {
+    "math.exp": math.exp,
+    "math.log": math.log,
+    "math.log2": math.log2,
+    "math.sqrt": math.sqrt,
+    "math.absf": abs,
+    "math.sin": math.sin,
+    "math.cos": math.cos,
+    "math.tanh": math.tanh,
+    "math.floor": math.floor,
+    "math.ceil": math.ceil,
+    "math.powf": math.pow,
+    "math.atan2": math.atan2,
+}
+
+#: Function name used in generated Python code (``math.<name>``).
+MATH_PYTHON_FUNCTIONS: Dict[str, str] = {
+    "math.exp": "math.exp",
+    "math.log": "math.log",
+    "math.log2": "math.log2",
+    "math.sqrt": "math.sqrt",
+    "math.absf": "abs",
+    "math.sin": "math.sin",
+    "math.cos": "math.cos",
+    "math.tanh": "math.tanh",
+    "math.floor": "math.floor",
+    "math.ceil": "math.ceil",
+    "math.powf": "math.pow",
+    "math.atan2": "math.atan2",
+}
+
+#: Vectorized (numpy) equivalents — used by the ICC/SLEEF-style backend.
+MATH_NUMPY_FUNCTIONS: Dict[str, str] = {
+    "math.exp": "np.exp",
+    "math.log": "np.log",
+    "math.log2": "np.log2",
+    "math.sqrt": "np.sqrt",
+    "math.absf": "np.abs",
+    "math.sin": "np.sin",
+    "math.cos": "np.cos",
+    "math.tanh": "np.tanh",
+    "math.floor": "np.floor",
+    "math.ceil": "np.ceil",
+    "math.powf": "np.power",
+    "math.atan2": "np.arctan2",
+}
+
+#: C library names recognized by the frontend, mapped to math-dialect ops.
+C_MATH_FUNCTIONS: Dict[str, str] = {
+    "exp": "math.exp",
+    "log": "math.log",
+    "log2": "math.log2",
+    "sqrt": "math.sqrt",
+    "sqrtf": "math.sqrt",
+    "fabs": "math.absf",
+    "abs": "math.absf",
+    "sin": "math.sin",
+    "cos": "math.cos",
+    "tanh": "math.tanh",
+    "floor": "math.floor",
+    "ceil": "math.ceil",
+    "pow": "math.powf",
+    "atan2": "math.atan2",
+}

@@ -1,0 +1,218 @@
+"""``memref`` dialect: memory allocation, loads, stores and copies.
+
+This is the control-centric view of memory the paper contrasts with the
+data-centric one: shaped references with load/store granularity and no
+notion of moved subsets.  The DCIR converter turns these operations into
+``sdfg.alloc`` / ``sdfg.load`` / ``sdfg.store`` with symbolic sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..ir.core import Operation, Value, register_operation
+from ..ir.types import DYNAMIC, MemRefType, Type
+from ..ir.verifier import VerificationError
+
+
+def _check_memref(op: Operation, value: Value, what: str) -> MemRefType:
+    if not isinstance(value.type, MemRefType):
+        raise VerificationError(f"{what} of {op.name} must be a memref, got {value.type}", op)
+    return value.type
+
+
+@register_operation
+class AllocOp(Operation):
+    """``memref.alloc`` — heap allocation (C ``malloc``)."""
+
+    OP_NAME = "memref.alloc"
+    IS_ALLOCATION = True
+
+    @staticmethod
+    def build(memref_type: MemRefType, dynamic_sizes: Sequence[Value] = ()) -> "AllocOp":
+        op = AllocOp(
+            AllocOp.OP_NAME, operands=list(dynamic_sizes), result_types=[memref_type]
+        )
+        return op
+
+    @property
+    def memref_type(self) -> MemRefType:
+        return self.result.type
+
+    def verify_op(self) -> None:
+        memref_type = self.memref_type
+        expected = memref_type.num_dynamic_dims()
+        if len(self.operands) != expected:
+            raise VerificationError(
+                f"memref.alloc expects {expected} dynamic size operand(s), got "
+                f"{len(self.operands)}",
+                self,
+            )
+
+
+@register_operation
+class AllocaOp(AllocOp):
+    """``memref.alloca`` — stack allocation (C local arrays and scalars)."""
+
+    OP_NAME = "memref.alloca"
+    IS_ALLOCATION = True
+
+    @staticmethod
+    def build(memref_type: MemRefType, dynamic_sizes: Sequence[Value] = ()) -> "AllocaOp":
+        return AllocaOp(
+            AllocaOp.OP_NAME, operands=list(dynamic_sizes), result_types=[memref_type]
+        )
+
+
+@register_operation
+class DeallocOp(Operation):
+    """``memref.dealloc`` — frees a heap allocation (C ``free``)."""
+
+    OP_NAME = "memref.dealloc"
+    HAS_SIDE_EFFECTS = True
+
+    @staticmethod
+    def build(memref: Value) -> "DeallocOp":
+        return DeallocOp(DeallocOp.OP_NAME, operands=[memref])
+
+    @property
+    def memref(self) -> Value:
+        return self.operand(0)
+
+    def verify_op(self) -> None:
+        _check_memref(self, self.memref, "operand")
+
+
+@register_operation
+class LoadOp(Operation):
+    """``memref.load`` — reads one element."""
+
+    OP_NAME = "memref.load"
+    READS_MEMORY = True
+
+    @staticmethod
+    def build(memref: Value, indices: Sequence[Value]) -> "LoadOp":
+        memref_type = memref.type
+        if not isinstance(memref_type, MemRefType):
+            raise VerificationError(f"memref.load requires a memref, got {memref_type}")
+        return LoadOp(
+            LoadOp.OP_NAME,
+            operands=[memref, *indices],
+            result_types=[memref_type.element_type],
+        )
+
+    @property
+    def memref(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def indices(self) -> Sequence[Value]:
+        return self.operands[1:]
+
+    def verify_op(self) -> None:
+        memref_type = _check_memref(self, self.memref, "source")
+        if len(self.indices) != memref_type.rank:
+            raise VerificationError(
+                f"memref.load has {len(self.indices)} indices for rank-{memref_type.rank} memref",
+                self,
+            )
+
+
+@register_operation
+class StoreOp(Operation):
+    """``memref.store`` — writes one element."""
+
+    OP_NAME = "memref.store"
+    HAS_SIDE_EFFECTS = True
+
+    @staticmethod
+    def build(value: Value, memref: Value, indices: Sequence[Value]) -> "StoreOp":
+        return StoreOp(StoreOp.OP_NAME, operands=[value, memref, *indices])
+
+    @property
+    def value(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def memref(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def indices(self) -> Sequence[Value]:
+        return self.operands[2:]
+
+    def verify_op(self) -> None:
+        memref_type = _check_memref(self, self.memref, "destination")
+        if len(self.indices) != memref_type.rank:
+            raise VerificationError(
+                f"memref.store has {len(self.indices)} indices for rank-{memref_type.rank} memref",
+                self,
+            )
+
+
+@register_operation
+class CopyOp(Operation):
+    """``memref.copy`` — copies all elements from source to destination."""
+
+    OP_NAME = "memref.copy"
+    HAS_SIDE_EFFECTS = True
+    READS_MEMORY = True
+
+    @staticmethod
+    def build(source: Value, destination: Value) -> "CopyOp":
+        return CopyOp(CopyOp.OP_NAME, operands=[source, destination])
+
+    @property
+    def source(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def destination(self) -> Value:
+        return self.operand(1)
+
+    def verify_op(self) -> None:
+        source_type = _check_memref(self, self.source, "source")
+        destination_type = _check_memref(self, self.destination, "destination")
+        if source_type.rank != destination_type.rank:
+            raise VerificationError("memref.copy source/destination rank mismatch", self)
+        for src_dim, dst_dim in zip(source_type.shape, destination_type.shape):
+            if src_dim != DYNAMIC and dst_dim != DYNAMIC and src_dim != dst_dim:
+                raise VerificationError(
+                    f"memref.copy static size mismatch ({src_dim} vs {dst_dim})", self
+                )
+
+
+@register_operation
+class DimOp(Operation):
+    """``memref.dim`` — size of one dimension as an ``index`` value."""
+
+    OP_NAME = "memref.dim"
+
+    @staticmethod
+    def build(memref: Value, dimension: Value) -> "DimOp":
+        from ..ir.types import INDEX
+
+        return DimOp(DimOp.OP_NAME, operands=[memref, dimension], result_types=[INDEX])
+
+    @property
+    def memref(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def dimension(self) -> Value:
+        return self.operand(1)
+
+
+@register_operation
+class CastOp(Operation):
+    """``memref.cast`` — converts between static and dynamic shapes."""
+
+    OP_NAME = "memref.cast"
+
+    @staticmethod
+    def build(memref: Value, result_type: MemRefType) -> "CastOp":
+        return CastOp(CastOp.OP_NAME, operands=[memref], result_types=[result_type])
+
+    @property
+    def source(self) -> Value:
+        return self.operand(0)

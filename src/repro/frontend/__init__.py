@@ -1,0 +1,20 @@
+"""C frontend (mini-Polygeist): C subset → MLIR core dialects."""
+
+from .c_ast import TranslationUnit
+from .clexer import CLexerError, preprocess, tokenize
+from .cparser import CParseError, parse_c
+from .driver import compile_c_to_ast, compile_c_to_mlir
+from .lowering import LoweringError, lower_translation_unit
+
+__all__ = [
+    "CLexerError",
+    "CParseError",
+    "LoweringError",
+    "TranslationUnit",
+    "compile_c_to_ast",
+    "compile_c_to_mlir",
+    "lower_translation_unit",
+    "parse_c",
+    "preprocess",
+    "tokenize",
+]

@@ -1,0 +1,152 @@
+"""Lexer for the C subset accepted by the mini-Polygeist frontend.
+
+Handles the constructs appearing in Polybench-class numerical C code:
+identifiers, integer/floating literals, operators (including compound
+assignment and increment/decrement), comments, and a tiny preprocessor that
+expands object-like ``#define NAME value`` macros and drops other
+directives (``#include`` etc.).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+KEYWORDS = {
+    "int",
+    "long",
+    "float",
+    "double",
+    "char",
+    "void",
+    "unsigned",
+    "signed",
+    "const",
+    "static",
+    "struct",
+    "for",
+    "while",
+    "do",
+    "if",
+    "else",
+    "return",
+    "break",
+    "continue",
+    "sizeof",
+}
+
+# Longest-match-first operator list.
+OPERATORS = [
+    "<<=", ">>=",
+    "++", "--", "+=", "-=", "*=", "/=", "%=", "==", "!=", "<=", ">=", "&&", "||",
+    "<<", ">>", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~", "?", ":",
+    "(", ")", "[", "]", "{", "}", ",", ";", ".",
+]
+
+
+@dataclass
+class Token:
+    """A single lexical token."""
+
+    kind: str  # 'id', 'keyword', 'int', 'float', 'op', 'string', 'eof'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+class CLexerError(Exception):
+    """Raised when the source contains characters the lexer cannot handle."""
+
+
+_FLOAT_RE = re.compile(r"\d+\.\d*([eE][+-]?\d+)?[fF]?|\.\d+([eE][+-]?\d+)?[fF]?|\d+[eE][+-]?\d+[fF]?")
+_INT_RE = re.compile(r"0[xX][0-9a-fA-F]+|\d+[uUlL]*")
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*")
+_STRING_RE = re.compile(r'"(\\.|[^"\\])*"')
+
+
+def preprocess(source: str) -> Tuple[str, Dict[str, str]]:
+    """Strip comments, expand ``#define`` macros, drop other directives.
+
+    Returns the cleaned source and the macro table (useful for dataset-size
+    introspection in the workload registry).
+    """
+    # Remove block and line comments (preserve line counts for diagnostics).
+    source = re.sub(r"/\*.*?\*/", lambda m: "\n" * m.group(0).count("\n"), source, flags=re.S)
+    source = re.sub(r"//[^\n]*", "", source)
+
+    defines: Dict[str, str] = {}
+    output_lines: List[str] = []
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            match = re.match(r"#\s*define\s+([A-Za-z_][A-Za-z_0-9]*)\s+(.+)", stripped)
+            if match and "(" not in match.group(1):
+                defines[match.group(1)] = match.group(2).strip()
+            output_lines.append("")  # keep line numbering stable
+            continue
+        output_lines.append(line)
+    text = "\n".join(output_lines)
+
+    # Expand object-like macros repeatedly (macros may reference each other).
+    for _ in range(8):
+        replaced = text
+        for name, value in defines.items():
+            replaced = re.sub(rf"\b{re.escape(name)}\b", f"({value})", replaced)
+        if replaced == text:
+            break
+        text = replaced
+    return text, defines
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize preprocessed C source."""
+    tokens: List[Token] = []
+    position = 0
+    line = 1
+    length = len(source)
+    while position < length:
+        char = source[position]
+        if char == "\n":
+            line += 1
+            position += 1
+            continue
+        if char.isspace():
+            position += 1
+            continue
+        match = _FLOAT_RE.match(source, position)
+        if match and ("." in match.group(0) or "e" in match.group(0) or "E" in match.group(0)):
+            text = match.group(0).rstrip("fF")
+            tokens.append(Token("float", text, line))
+            position = match.end()
+            continue
+        match = _INT_RE.match(source, position)
+        if match:
+            text = match.group(0)
+            tokens.append(Token("int", text.rstrip("uUlL"), line))
+            position = match.end()
+            continue
+        match = _ID_RE.match(source, position)
+        if match:
+            text = match.group(0)
+            kind = "keyword" if text in KEYWORDS else "id"
+            tokens.append(Token(kind, text, line))
+            position = match.end()
+            continue
+        match = _STRING_RE.match(source, position)
+        if match:
+            tokens.append(Token("string", match.group(0), line))
+            position = match.end()
+            continue
+        for operator in OPERATORS:
+            if source.startswith(operator, position):
+                tokens.append(Token("op", operator, line))
+                position += len(operator)
+                break
+        else:
+            raise CLexerError(f"Unexpected character {char!r} at line {line}")
+    tokens.append(Token("eof", "", line))
+    return tokens

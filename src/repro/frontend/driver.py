@@ -1,0 +1,29 @@
+"""Frontend driver: C source → MLIR module (mini-Polygeist entry point)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dialects.builtin import ModuleOp
+from ..ir.verifier import verify
+from .c_ast import TranslationUnit
+from .cparser import parse_c
+from .lowering import lower_translation_unit
+
+
+def compile_c_to_ast(source: str) -> TranslationUnit:
+    """Parse C source into the frontend AST."""
+    return parse_c(source)
+
+
+def compile_c_to_mlir(source: str, run_verifier: bool = True) -> ModuleOp:
+    """Translate C source to an MLIR module in the scf/arith/math/memref dialects.
+
+    This is the reproduction's Polygeist: the entry point of every pipeline
+    (§4, Fig. 4 — "Polygeist" box).
+    """
+    unit = parse_c(source)
+    module = lower_translation_unit(unit)
+    if run_verifier:
+        verify(module)
+    return module

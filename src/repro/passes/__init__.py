@@ -1,0 +1,51 @@
+"""Control-centric passes and the pass manager.
+
+The standard pipelines (``gcc``, ``clang``, ``mlir`` and the MLIR half of
+``dcir``) are assembled from these passes; see
+:func:`control_centric_pipeline` for the canonical ordering used by the
+paper's §4 conversion pipeline.
+"""
+
+from .canonicalize import Canonicalize, constant_value
+from .cse import CommonSubexpressionElimination
+from .dce import DeadCodeElimination
+from .inlining import Inlining
+from .licm import LoopInvariantCodeMotion
+from .memref_dce import DeadMemoryElimination
+from .pass_manager import Pass, PassManager, PassPipelineReport, PassStatistics
+from .scalar_replacement import ScalarReplacement
+
+
+def control_centric_pipeline(
+    include_memref_dce: bool = True, max_iterations: int = 3
+) -> PassManager:
+    """The control-centric pass suite of §4: inlining, canonicalization,
+    scalar replacement, CSE, LICM and DCE, iterated to a fixed point."""
+    passes = [
+        Inlining(),
+        Canonicalize(),
+        ScalarReplacement(),
+        CommonSubexpressionElimination(),
+        LoopInvariantCodeMotion(),
+        DeadCodeElimination(),
+    ]
+    if include_memref_dce:
+        passes.append(DeadMemoryElimination())
+    return PassManager(passes, max_iterations=max_iterations)
+
+
+__all__ = [
+    "Canonicalize",
+    "CommonSubexpressionElimination",
+    "DeadCodeElimination",
+    "DeadMemoryElimination",
+    "Inlining",
+    "LoopInvariantCodeMotion",
+    "Pass",
+    "PassManager",
+    "PassPipelineReport",
+    "PassStatistics",
+    "ScalarReplacement",
+    "constant_value",
+    "control_centric_pipeline",
+]

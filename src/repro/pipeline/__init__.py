@@ -1,0 +1,21 @@
+"""Public compilation pipelines (gcc, clang, mlir, dace, dcir, dcir+vec)."""
+
+from .pipelines import (
+    PIPELINES,
+    CompileResult,
+    PipelineError,
+    RunResult,
+    compile_and_run,
+    compile_c,
+    run_compiled,
+)
+
+__all__ = [
+    "CompileResult",
+    "PIPELINES",
+    "PipelineError",
+    "RunResult",
+    "compile_and_run",
+    "compile_c",
+    "run_compiled",
+]

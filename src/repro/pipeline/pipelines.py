@@ -1,0 +1,157 @@
+"""The compiler pipelines compared in the paper's evaluation (§7).
+
+All pipelines start from the same C source and end in executable Python;
+they differ only in which optimizations run — mirroring the paper's
+methodology of using the same flags for every compiler:
+
+========== ============================== ======== ============================
+pipeline   control-centric passes          bridge   data-centric passes / codegen
+========== ============================== ======== ============================
+``gcc``    full suite                      —        native-style MLIR codegen
+``clang``  full suite (minus memref-DCE)   —        native-style MLIR codegen
+``mlir``   full suite                      —        Polygeist-style MLIR codegen
+``dace``   none (coarse view)              yes      full §6 set, SDFG codegen
+``dcir``   full suite                      yes      full §6 set, SDFG codegen
+``dcir+vec`` as dcir                       yes      as dcir, vectorized maps
+========== ============================== ======== ============================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..codegen import (
+    MovementReport,
+    compile_mlir,
+    compile_sdfg,
+    sdfg_movement_report,
+)
+from ..conversion import mlir_to_sdfg
+from ..frontend import compile_c_to_mlir
+from ..passes import control_centric_pipeline
+from ..sdfg import SDFG
+from ..transforms import data_centric_pipeline
+
+PIPELINES = ("gcc", "clang", "dace", "mlir", "dcir", "dcir+vec")
+
+
+@dataclass
+class CompileResult:
+    """Result of compiling a program through one pipeline."""
+
+    pipeline: str
+    function: Optional[str]
+    code: str
+    runner: Callable
+    sdfg: Optional[SDFG] = None
+    mlir_module: object = None
+    compile_seconds: float = 0.0
+    optimization_report: object = None
+
+    def run(self, **kwargs) -> Dict:
+        return self.runner(**kwargs)
+
+    def movement_report(self, symbols: Optional[Dict[str, float]] = None) -> Optional[MovementReport]:
+        if self.sdfg is None:
+            return None
+        return sdfg_movement_report(self.sdfg, symbols)
+
+    @property
+    def eliminated_containers(self) -> List[str]:
+        if self.sdfg is None:
+            return []
+        return list(self.sdfg.eliminated_containers)
+
+
+@dataclass
+class RunResult:
+    """Timing and output of executing a compiled program."""
+
+    pipeline: str
+    seconds: float
+    outputs: Dict
+    allocations: int = 0
+
+    @property
+    def return_value(self):
+        return self.outputs.get("__return")
+
+
+class PipelineError(Exception):
+    """Raised for unknown pipelines or failed compilation stages."""
+
+
+def compile_c(source: str, pipeline: str = "dcir", function: Optional[str] = None) -> CompileResult:
+    """Compile C source through the requested pipeline.
+
+    This is the main public entry point of the library: it reproduces the
+    paper's Fig. 4 conversion pipeline for ``dcir`` and the baseline paths
+    for the other pipeline names.
+    """
+    if pipeline not in PIPELINES:
+        raise PipelineError(f"Unknown pipeline {pipeline!r}; choose one of {PIPELINES}")
+    start = time.perf_counter()
+    module = compile_c_to_mlir(source)
+
+    if pipeline in ("gcc", "clang", "mlir", "dcir", "dcir+vec"):
+        include_memref_dce = pipeline != "clang"
+        control_report = control_centric_pipeline(include_memref_dce=include_memref_dce).run(module)
+    else:
+        control_report = None  # the DaCe C frontend performs no control-centric passes
+
+    if pipeline in ("gcc", "clang", "mlir"):
+        native = pipeline in ("gcc", "clang")
+        compiled = compile_mlir(
+            module, function=function, native_scalars=native, preallocate=native
+        )
+        return CompileResult(
+            pipeline=pipeline,
+            function=function,
+            code=compiled.code,
+            runner=compiled.run,
+            mlir_module=module,
+            compile_seconds=time.perf_counter() - start,
+            optimization_report=control_report,
+        )
+
+    # Data-centric pipelines: bridge to the SDFG IR and optimize there.
+    sdfg = mlir_to_sdfg(module, function=function)
+    data_report = data_centric_pipeline().apply(sdfg)
+    compiled = compile_sdfg(sdfg, vectorize=pipeline == "dcir+vec")
+    return CompileResult(
+        pipeline=pipeline,
+        function=function,
+        code=compiled.code,
+        runner=compiled.run,
+        sdfg=sdfg,
+        mlir_module=module,
+        compile_seconds=time.perf_counter() - start,
+        optimization_report=data_report,
+    )
+
+
+def run_compiled(result: CompileResult, repetitions: int = 1, **kwargs) -> RunResult:
+    """Execute a compiled program, returning the best-of-N runtime."""
+    best = float("inf")
+    outputs: Dict = {}
+    for _ in range(max(1, repetitions)):
+        start = time.perf_counter()
+        outputs = result.run(**kwargs)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return RunResult(
+        pipeline=result.pipeline,
+        seconds=best,
+        outputs=outputs,
+        allocations=int(outputs.get("__allocations", 0)),
+    )
+
+
+def compile_and_run(
+    source: str, pipeline: str = "dcir", repetitions: int = 1, function: Optional[str] = None,
+    **kwargs,
+) -> RunResult:
+    """Convenience wrapper: compile then run."""
+    return run_compiled(compile_c(source, pipeline, function=function), repetitions, **kwargs)

@@ -1,0 +1,88 @@
+"""The SDFG IR (mini-DaCe): stateful dataflow multigraphs.
+
+Public entry points: :class:`SDFG`, :class:`SDFGState`,
+:class:`InterstateEdge`, the node classes, :class:`Memlet`, and the data
+descriptors (:class:`Array`, :class:`Scalar`, :class:`Stream`).
+"""
+
+from .analysis import (
+    containers_ever_read,
+    containers_ever_written,
+    live_containers_per_state,
+    reachable_states,
+    state_access_sets,
+    symbols_assigned_once,
+)
+from .data import (
+    Array,
+    Data,
+    LIFETIME_PERSISTENT,
+    LIFETIME_SCOPE,
+    STORAGE_HEAP,
+    STORAGE_REGISTER,
+    STORAGE_STACK,
+    Scalar,
+    Stream,
+    mlir_type_to_dtype,
+)
+from .memlet import Memlet, WCR_OPERATORS
+from .nodes import (
+    AccessNode,
+    CodeNode,
+    ConsumeEntry,
+    ConsumeExit,
+    Map,
+    MapEntry,
+    MapExit,
+    Node,
+    Tasklet,
+    is_scope_entry,
+    is_scope_exit,
+)
+from .propagation import propagate_memlets_sdfg, propagate_memlets_state, propagate_subset
+from .sdfg import SDFG, InterstateEdge, InvalidSDFGError, StateEdge
+from .state import MultiConnectorEdge, SDFGState
+from .validation import validate_sdfg, validate_state
+
+__all__ = [
+    "AccessNode",
+    "Array",
+    "CodeNode",
+    "ConsumeEntry",
+    "ConsumeExit",
+    "Data",
+    "InterstateEdge",
+    "InvalidSDFGError",
+    "LIFETIME_PERSISTENT",
+    "LIFETIME_SCOPE",
+    "Map",
+    "MapEntry",
+    "MapExit",
+    "Memlet",
+    "MultiConnectorEdge",
+    "Node",
+    "SDFG",
+    "SDFGState",
+    "STORAGE_HEAP",
+    "STORAGE_REGISTER",
+    "STORAGE_STACK",
+    "Scalar",
+    "StateEdge",
+    "Stream",
+    "Tasklet",
+    "WCR_OPERATORS",
+    "containers_ever_read",
+    "containers_ever_written",
+    "is_scope_entry",
+    "is_scope_exit",
+    "live_containers_per_state",
+    "mlir_type_to_dtype",
+    "propagate_memlets_sdfg",
+    "propagate_memlets_state",
+    "propagate_subset",
+    "reachable_states",
+    "state_access_sets",
+    "symbols_assigned_once",
+    "validate_sdfg",
+    "validate_state",
+]

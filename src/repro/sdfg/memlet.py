@@ -1,0 +1,136 @@
+"""Memlets: explicit data-movement edges of the SDFG IR.
+
+A memlet names the container being moved, the (symbolic, rectangular)
+subset of it, the data volume, an optional write-conflict-resolution (WCR)
+function — the "update" access mode the paper distinguishes from plain
+writes (§3, difference 3; §6.1 Update Detection) — and whether the access
+pattern is dynamic (data-dependent, e.g. indirect indexing).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+from ..symbolic import Expr, Integer, Subset, sympify
+
+#: Supported WCR (write-conflict resolution) operators and their Python form.
+WCR_OPERATORS = {
+    "+": "lambda a, b: a + b",
+    "*": "lambda a, b: a * b",
+    "min": "lambda a, b: min(a, b)",
+    "max": "lambda a, b: max(a, b)",
+}
+
+
+class Memlet:
+    """A single data-movement descriptor attached to a dataflow edge."""
+
+    def __init__(
+        self,
+        data: Optional[str] = None,
+        subset: Optional[Union[Subset, str, Sequence]] = None,
+        wcr: Optional[str] = None,
+        dynamic: bool = False,
+        volume: Optional[Union[int, Expr]] = None,
+    ):
+        self.data = data
+        if subset is None:
+            self.subset: Optional[Subset] = None
+        elif isinstance(subset, Subset):
+            self.subset = subset
+        elif isinstance(subset, str):
+            self.subset = Subset.parse(subset)
+        else:
+            self.subset = Subset(subset)
+        if wcr is not None and wcr not in WCR_OPERATORS:
+            raise ValueError(f"Unsupported WCR operator {wcr!r}")
+        self.wcr = wcr
+        self.dynamic = dynamic
+        if volume is not None:
+            self.volume = sympify(volume)
+        elif self.subset is not None:
+            self.volume = self.subset.num_elements()
+        else:
+            self.volume = Integer(0)
+
+    # -- constructors -----------------------------------------------------------
+    @staticmethod
+    def simple(data: str, subset: Union[str, Subset, Sequence], wcr: Optional[str] = None) -> "Memlet":
+        return Memlet(data=data, subset=subset, wcr=wcr)
+
+    @staticmethod
+    def from_indices(data: str, indices: Sequence) -> "Memlet":
+        return Memlet(data=data, subset=Subset.from_indices(indices))
+
+    @staticmethod
+    def full(data: str, shape: Sequence) -> "Memlet":
+        return Memlet(data=data, subset=Subset.full(shape))
+
+    @staticmethod
+    def empty() -> "Memlet":
+        """Dependency-only edge that moves no data."""
+        return Memlet(data=None, subset=None)
+
+    # -- queries ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return self.data is None
+
+    def num_elements(self) -> Expr:
+        if self.subset is None:
+            return Integer(0)
+        return self.subset.num_elements()
+
+    def free_symbols(self) -> frozenset:
+        result: frozenset = frozenset()
+        if self.subset is not None:
+            result |= self.subset.free_symbols()
+        result |= self.volume.free_symbols()
+        return result
+
+    def subs(self, mapping: Mapping[str, Expr]) -> "Memlet":
+        return Memlet(
+            data=self.data,
+            subset=self.subset.subs(mapping) if self.subset is not None else None,
+            wcr=self.wcr,
+            dynamic=self.dynamic,
+            volume=self.volume.subs(mapping),
+        )
+
+    def union(self, other: "Memlet") -> "Memlet":
+        """Union of two memlets over the same container (bounding box)."""
+        if self.data != other.data:
+            raise ValueError(f"Cannot union memlets of {self.data!r} and {other.data!r}")
+        if self.subset is None:
+            return other
+        if other.subset is None:
+            return self
+        return Memlet(
+            data=self.data,
+            subset=self.subset.union(other.subset),
+            wcr=self.wcr if self.wcr == other.wcr else None,
+            dynamic=self.dynamic or other.dynamic,
+        )
+
+    def clone(self) -> "Memlet":
+        return Memlet(
+            data=self.data,
+            subset=self.subset,
+            wcr=self.wcr,
+            dynamic=self.dynamic,
+            volume=self.volume,
+        )
+
+    # -- printing ----------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Memlet({self})"
+
+    def __str__(self) -> str:
+        if self.is_empty:
+            return "(empty)"
+        text = f"{self.data}[{self.subset}]" if self.subset is not None else str(self.data)
+        if self.wcr is not None:
+            text += f" (wcr: {self.wcr})"
+        if self.dynamic:
+            text += " (dyn)"
+        return text

@@ -1,0 +1,142 @@
+"""Dataflow-graph node types of the SDFG IR.
+
+A state's multigraph contains access nodes (views onto data containers),
+tasklets (atomic units of computation), and map entry/exit pairs that
+delimit parametrically parallel scopes (§2.2 of the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from ..symbolic import Range
+
+_node_counter = itertools.count()
+
+
+class Node:
+    """Base class for dataflow nodes.  Each node has a unique id so that
+    identical-looking nodes (e.g. two access nodes of the same array) remain
+    distinct graph vertices."""
+
+    def __init__(self, label: str = ""):
+        self.node_id = next(_node_counter)
+        self.label = label
+
+    def __hash__(self) -> int:
+        return hash(self.node_id)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.label or self.node_id}>"
+
+
+class AccessNode(Node):
+    """A read/write view of a data container within a state."""
+
+    def __init__(self, data: str):
+        super().__init__(label=data)
+        self.data = data
+
+
+class CodeNode(Node):
+    """Base class for nodes with named connectors (tasklets, nested scopes)."""
+
+    def __init__(self, label: str, inputs: Sequence[str] = (), outputs: Sequence[str] = ()):
+        super().__init__(label=label)
+        self.in_connectors: Set[str] = set(inputs)
+        self.out_connectors: Set[str] = set(outputs)
+
+    def add_in_connector(self, name: str) -> None:
+        self.in_connectors.add(name)
+
+    def add_out_connector(self, name: str) -> None:
+        self.out_connectors.add(name)
+
+
+class Tasklet(CodeNode):
+    """An atomic unit of computation.
+
+    ``code`` is a block of Python statements over the connector names (the
+    *raised* representation of §5.2); ``language`` records the original
+    representation (``"python"`` for raised tasklets, ``"mlir"`` for
+    tasklets kept in MLIR form and compiled separately).
+    """
+
+    def __init__(
+        self,
+        label: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        code: str,
+        language: str = "python",
+    ):
+        super().__init__(label, inputs, outputs)
+        self.code = code
+        self.language = language
+
+    def free_symbols(self) -> Set[str]:
+        """Names referenced by the code that are not connectors (best effort)."""
+        import re
+
+        names = set(re.findall(r"[A-Za-z_][A-Za-z_0-9]*", self.code))
+        return names - self.in_connectors - self.out_connectors
+
+
+class Map:
+    """A parametric parallel iteration space shared by an entry/exit pair."""
+
+    def __init__(self, label: str, params: Sequence[str], ranges: Sequence[Range]):
+        if len(params) != len(ranges):
+            raise ValueError("Map requires one range per parameter")
+        self.label = label
+        self.params: List[str] = list(params)
+        self.ranges: List[Range] = list(ranges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        spec = ", ".join(f"{p}={r}" for p, r in zip(self.params, self.ranges))
+        return f"Map({self.label}: {spec})"
+
+
+class MapEntry(CodeNode):
+    """Entry node of a map scope.  Outer edges arrive at ``IN_<name>``
+    connectors; inner edges leave from ``OUT_<name>`` connectors."""
+
+    def __init__(self, map_obj: Map):
+        super().__init__(label=f"{map_obj.label}_entry")
+        self.map = map_obj
+
+
+class MapExit(CodeNode):
+    """Exit node of a map scope (inner edges in, outer edges out)."""
+
+    def __init__(self, map_obj: Map):
+        super().__init__(label=f"{map_obj.label}_exit")
+        self.map = map_obj
+
+
+class ConsumeEntry(CodeNode):
+    """Entry node of a consume (producer/consumer) scope over a stream."""
+
+    def __init__(self, label: str, stream: str, num_pes: int = 1):
+        super().__init__(label=f"{label}_entry")
+        self.stream = stream
+        self.num_pes = num_pes
+
+
+class ConsumeExit(CodeNode):
+    """Exit node of a consume scope."""
+
+    def __init__(self, label: str):
+        super().__init__(label=f"{label}_exit")
+
+
+def is_scope_entry(node: Node) -> bool:
+    return isinstance(node, (MapEntry, ConsumeEntry))
+
+
+def is_scope_exit(node: Node) -> bool:
+    return isinstance(node, (MapExit, ConsumeExit))

@@ -1,0 +1,323 @@
+"""SDFG states: acyclic dataflow multigraphs.
+
+A state contains access nodes, tasklets and map scopes connected by edges
+that carry memlets.  Execution order inside a state is defined purely by
+data dependencies (§2.2); the surrounding state machine provides control
+flow.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+import networkx as nx
+
+from ..symbolic import Range
+from .memlet import Memlet
+from .nodes import (
+    AccessNode,
+    CodeNode,
+    ConsumeEntry,
+    ConsumeExit,
+    Map,
+    MapEntry,
+    MapExit,
+    Node,
+    Tasklet,
+    is_scope_entry,
+    is_scope_exit,
+)
+
+_edge_counter = itertools.count()
+
+
+class MultiConnectorEdge:
+    """A dataflow edge: (source node, source connector) → (dest node, dest
+    connector), carrying a memlet."""
+
+    __slots__ = ("src", "src_conn", "dst", "dst_conn", "data", "key")
+
+    def __init__(
+        self,
+        src: Node,
+        src_conn: Optional[str],
+        dst: Node,
+        dst_conn: Optional[str],
+        data: Memlet,
+        key: Optional[int] = None,
+    ):
+        self.src = src
+        self.src_conn = src_conn
+        self.dst = dst
+        self.dst_conn = dst_conn
+        self.data = data
+        self.key = key if key is not None else next(_edge_counter)
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MultiConnectorEdge) and other.key == self.key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Edge({self.src!r}.{self.src_conn} -> {self.dst!r}.{self.dst_conn}: {self.data})"
+        )
+
+
+class SDFGState:
+    """A single state: an acyclic multigraph of dataflow nodes."""
+
+    def __init__(self, label: str, sdfg: Optional["SDFG"] = None):  # noqa: F821
+        self.label = label
+        self.sdfg = sdfg
+        self._graph = nx.MultiDiGraph()
+
+    # -- node management -----------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        self._graph.add_node(node)
+        return node
+
+    def add_access(self, data: str) -> AccessNode:
+        return self.add_node(AccessNode(data))
+
+    def add_tasklet(
+        self,
+        label: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        code: str,
+        language: str = "python",
+    ) -> Tasklet:
+        return self.add_node(Tasklet(label, inputs, outputs, code, language))
+
+    def add_map(
+        self, label: str, params: Sequence[str], ranges: Sequence[Range]
+    ) -> Tuple[MapEntry, MapExit]:
+        map_obj = Map(label, params, ranges)
+        entry = MapEntry(map_obj)
+        exit_node = MapExit(map_obj)
+        self.add_node(entry)
+        self.add_node(exit_node)
+        return entry, exit_node
+
+    def remove_node(self, node: Node) -> None:
+        self._graph.remove_node(node)
+
+    def remove_nodes(self, nodes: Iterable[Node]) -> None:
+        for node in list(nodes):
+            if node in self._graph:
+                self._graph.remove_node(node)
+
+    def nodes(self) -> List[Node]:
+        return list(self._graph.nodes())
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._graph
+
+    def number_of_nodes(self) -> int:
+        return self._graph.number_of_nodes()
+
+    # -- edge management --------------------------------------------------------------
+    def add_edge(
+        self,
+        src: Node,
+        src_conn: Optional[str],
+        dst: Node,
+        dst_conn: Optional[str],
+        memlet: Memlet,
+    ) -> MultiConnectorEdge:
+        if src not in self._graph:
+            self.add_node(src)
+        if dst not in self._graph:
+            self.add_node(dst)
+        edge = MultiConnectorEdge(src, src_conn, dst, dst_conn, memlet)
+        if src_conn and isinstance(src, CodeNode):
+            src.add_out_connector(src_conn)
+        if dst_conn and isinstance(dst, CodeNode):
+            dst.add_in_connector(dst_conn)
+        self._graph.add_edge(src, dst, key=edge.key, edge=edge)
+        return edge
+
+    def add_nedge(self, src: Node, dst: Node, memlet: Optional[Memlet] = None) -> MultiConnectorEdge:
+        """Add an edge without connectors (access-to-access copies, dependencies)."""
+        return self.add_edge(src, None, dst, None, memlet or Memlet.empty())
+
+    def remove_edge(self, edge: MultiConnectorEdge) -> None:
+        self._graph.remove_edge(edge.src, edge.dst, key=edge.key)
+
+    def edges(self) -> List[MultiConnectorEdge]:
+        return [data["edge"] for _, _, data in self._graph.edges(data=True)]
+
+    def in_edges(self, node: Node) -> List[MultiConnectorEdge]:
+        return [data["edge"] for _, _, data in self._graph.in_edges(node, data=True)]
+
+    def out_edges(self, node: Node) -> List[MultiConnectorEdge]:
+        return [data["edge"] for _, _, data in self._graph.out_edges(node, data=True)]
+
+    def in_degree(self, node: Node) -> int:
+        return self._graph.in_degree(node)
+
+    def out_degree(self, node: Node) -> int:
+        return self._graph.out_degree(node)
+
+    def edges_between(self, src: Node, dst: Node) -> List[MultiConnectorEdge]:
+        if not self._graph.has_edge(src, dst):
+            return []
+        return [data["edge"] for data in self._graph[src][dst].values()]
+
+    def predecessors(self, node: Node) -> List[Node]:
+        return list(self._graph.predecessors(node))
+
+    def successors(self, node: Node) -> List[Node]:
+        return list(self._graph.successors(node))
+
+    # -- traversal helpers ----------------------------------------------------------------
+    def topological_nodes(self) -> List[Node]:
+        return list(nx.topological_sort(self._graph))
+
+    def data_nodes(self) -> List[AccessNode]:
+        return [node for node in self._graph.nodes() if isinstance(node, AccessNode)]
+
+    def tasklets(self) -> List[Tasklet]:
+        return [node for node in self._graph.nodes() if isinstance(node, Tasklet)]
+
+    def source_nodes(self) -> List[Node]:
+        return [node for node in self._graph.nodes() if self._graph.in_degree(node) == 0]
+
+    def sink_nodes(self) -> List[Node]:
+        return [node for node in self._graph.nodes() if self._graph.out_degree(node) == 0]
+
+    def is_empty(self) -> bool:
+        return self._graph.number_of_nodes() == 0
+
+    # -- read/write sets --------------------------------------------------------------------
+    def read_set(self) -> Set[str]:
+        """Containers read (data flowing out of an access node) in this state."""
+        reads: Set[str] = set()
+        for edge in self.edges():
+            if edge.data.is_empty:
+                continue
+            if isinstance(edge.src, AccessNode):
+                reads.add(edge.src.data)
+        return reads
+
+    def write_set(self) -> Set[str]:
+        """Containers written (data flowing into an access node) in this state."""
+        writes: Set[str] = set()
+        for edge in self.edges():
+            if edge.data.is_empty:
+                continue
+            if isinstance(edge.dst, AccessNode):
+                writes.add(edge.dst.data)
+        return writes
+
+    def read_memlets(self, data: str) -> List[Memlet]:
+        return [
+            edge.data
+            for edge in self.edges()
+            if isinstance(edge.src, AccessNode) and edge.src.data == data and not edge.data.is_empty
+        ]
+
+    def write_memlets(self, data: str) -> List[Memlet]:
+        return [
+            edge.data
+            for edge in self.edges()
+            if isinstance(edge.dst, AccessNode) and edge.dst.data == data and not edge.data.is_empty
+        ]
+
+    # -- scopes ------------------------------------------------------------------------------
+    def scope_dict(self) -> Dict[Node, Optional[MapEntry]]:
+        """Map each node to its innermost enclosing scope entry (or None)."""
+        scope: Dict[Node, Optional[MapEntry]] = {node: None for node in self._graph.nodes()}
+        entries = [node for node in self.topological_nodes() if is_scope_entry(node)]
+        for entry in entries:
+            exit_node = self.exit_node(entry)
+            # Nodes strictly between entry and exit belong to this scope.
+            for node in self._scope_members(entry, exit_node):
+                scope[node] = entry
+            scope[exit_node] = entry
+        return scope
+
+    def _scope_members(self, entry: Node, exit_node: Node) -> Set[Node]:
+        members: Set[Node] = set()
+        frontier = [successor for successor in self._graph.successors(entry)]
+        while frontier:
+            node = frontier.pop()
+            if node is exit_node or node in members:
+                continue
+            members.add(node)
+            frontier.extend(self._graph.successors(node))
+        return members
+
+    def exit_node(self, entry: Node) -> Node:
+        """The exit node matching a scope entry."""
+        if isinstance(entry, MapEntry):
+            for node in self._graph.nodes():
+                if isinstance(node, MapExit) and node.map is entry.map:
+                    return node
+        if isinstance(entry, ConsumeEntry):
+            for node in self._graph.nodes():
+                if isinstance(node, ConsumeExit) and node.label == entry.label.replace(
+                    "_entry", "_exit"
+                ):
+                    return node
+        raise KeyError(f"No exit node for scope entry {entry!r}")
+
+    def entry_node(self, exit_node: Node) -> Node:
+        if isinstance(exit_node, MapExit):
+            for node in self._graph.nodes():
+                if isinstance(node, MapEntry) and node.map is exit_node.map:
+                    return node
+        raise KeyError(f"No entry node for scope exit {exit_node!r}")
+
+    # -- convenience builders ----------------------------------------------------------------
+    def add_mapped_tasklet(
+        self,
+        label: str,
+        map_ranges: Dict[str, Range],
+        inputs: Dict[str, Memlet],
+        code: str,
+        outputs: Dict[str, Memlet],
+        external_edges: bool = True,
+    ) -> Tuple[Tasklet, MapEntry, MapExit]:
+        """Create map entry/exit, a tasklet inside, and the connecting edges.
+
+        ``inputs``/``outputs`` map tasklet connector names to memlets.  When
+        ``external_edges`` is set, access nodes for the memlet containers
+        are created and wired through the map boundary.
+        """
+        params = list(map_ranges.keys())
+        ranges = [map_ranges[param] for param in params]
+        entry, exit_node = self.add_map(label, params, ranges)
+        tasklet = self.add_tasklet(label, list(inputs), list(outputs), code)
+        if not inputs:
+            self.add_nedge(entry, tasklet)
+        for connector, memlet in inputs.items():
+            entry.add_in_connector(f"IN_{memlet.data}")
+            entry.add_out_connector(f"OUT_{memlet.data}")
+            self.add_edge(entry, f"OUT_{memlet.data}", tasklet, connector, memlet.clone())
+            if external_edges:
+                read = self.add_access(memlet.data)
+                outer = Memlet.full(memlet.data, self._container_shape(memlet.data))
+                self.add_edge(read, None, entry, f"IN_{memlet.data}", outer)
+        for connector, memlet in outputs.items():
+            exit_node.add_in_connector(f"IN_{memlet.data}")
+            exit_node.add_out_connector(f"OUT_{memlet.data}")
+            self.add_edge(tasklet, connector, exit_node, f"IN_{memlet.data}", memlet.clone())
+            if external_edges:
+                write = self.add_access(memlet.data)
+                outer = Memlet.full(memlet.data, self._container_shape(memlet.data))
+                outer.wcr = memlet.wcr
+                self.add_edge(exit_node, f"OUT_{memlet.data}", write, None, outer)
+        return tasklet, entry, exit_node
+
+    def _container_shape(self, data: str):
+        if self.sdfg is None or data not in self.sdfg.arrays:
+            return [1]
+        shape = self.sdfg.arrays[data].shape
+        return shape if shape else [1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SDFGState {self.label}: {self.number_of_nodes()} nodes>"

@@ -1,0 +1,81 @@
+"""Symbolic math engine used by both the MLIR-like IR and the SDFG IR.
+
+Public entry points:
+
+* :func:`sympify` / :func:`parse_expr` — build expressions from Python
+  values or strings,
+* :class:`Symbol`, :class:`Integer`, :class:`Float` and the operator nodes,
+* :class:`Range` / :class:`Subset` — the memlet subset algebra,
+* :func:`solve_linear` / :func:`solve_equations` — symbol inference.
+"""
+
+from .expr import (
+    Add,
+    And,
+    BoolConst,
+    BoolExpr,
+    Compare,
+    Div,
+    Expr,
+    FALSE,
+    Float,
+    FloorDiv,
+    Integer,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Not,
+    Or,
+    Pow,
+    Symbol,
+    SymbolicError,
+    TRUE,
+    symbols,
+    sympify,
+)
+from .parser import parse_expr
+from .ranges import Range, Subset
+from .solve import (
+    definitely_nonzero,
+    linear_coefficients,
+    sign_assuming_positive,
+    solve_equations,
+    solve_linear,
+    substitute_all,
+)
+
+__all__ = [
+    "Add",
+    "And",
+    "BoolConst",
+    "BoolExpr",
+    "Compare",
+    "Div",
+    "Expr",
+    "FALSE",
+    "Float",
+    "FloorDiv",
+    "Integer",
+    "Max",
+    "Min",
+    "Mod",
+    "Mul",
+    "Not",
+    "Or",
+    "Pow",
+    "Range",
+    "Subset",
+    "Symbol",
+    "SymbolicError",
+    "TRUE",
+    "definitely_nonzero",
+    "linear_coefficients",
+    "sign_assuming_positive",
+    "parse_expr",
+    "solve_equations",
+    "solve_linear",
+    "substitute_all",
+    "symbols",
+    "sympify",
+]

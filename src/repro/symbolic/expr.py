@@ -1,0 +1,1009 @@
+"""Symbolic expression trees.
+
+This module is the reproduction's stand-in for the symbolic math engine
+DaCe borrows from sympy.  It implements just enough symbolic algebra for
+parametric dataflow analysis: integer/float constants, named symbols,
+arithmetic (+, -, *, /, floor-division, modulo, power, min, max), and
+boolean expressions (comparisons, and/or/not).
+
+Expressions are immutable.  Construction performs light canonicalization
+(constant folding, flattening of nested sums/products, dropping neutral
+elements) so that structurally equal expressions compare equal in the
+common cases data-centric passes rely on (e.g. ``N + 0`` equals ``N``).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Sequence, Union
+
+Number = Union[int, float, Fraction]
+ExprLike = Union["Expr", int, float, str]
+
+
+class SymbolicError(Exception):
+    """Raised for malformed symbolic expressions or impossible operations."""
+
+
+def sympify(value: ExprLike) -> "Expr":
+    """Coerce a Python value into an :class:`Expr`.
+
+    Strings are parsed with :mod:`repro.symbolic.parser`, numbers become
+    constants, and expressions pass through unchanged.
+    """
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return BoolConst(value)
+    if isinstance(value, int):
+        return Integer(value)
+    if isinstance(value, float):
+        if value.is_integer():
+            return Integer(int(value))
+        return Float(value)
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return Integer(value.numerator)
+        return Float(float(value))
+    if isinstance(value, str):
+        from .parser import parse_expr
+
+        return parse_expr(value)
+    raise SymbolicError(f"Cannot convert {value!r} to a symbolic expression")
+
+
+class Expr:
+    """Base class of all symbolic expressions."""
+
+    __slots__ = ()
+
+    # -- construction helpers ------------------------------------------------
+    def __add__(self, other: ExprLike) -> "Expr":
+        return Add.make(self, sympify(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return Add.make(sympify(other), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return Add.make(self, Mul.make(Integer(-1), sympify(other)))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return Add.make(sympify(other), Mul.make(Integer(-1), self))
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return Mul.make(self, sympify(other))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return Mul.make(sympify(other), self)
+
+    def __neg__(self) -> "Expr":
+        return Mul.make(Integer(-1), self)
+
+    def __truediv__(self, other: ExprLike) -> "Expr":
+        return Div.make(self, sympify(other))
+
+    def __rtruediv__(self, other: ExprLike) -> "Expr":
+        return Div.make(sympify(other), self)
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return FloorDiv.make(self, sympify(other))
+
+    def __rfloordiv__(self, other: ExprLike) -> "Expr":
+        return FloorDiv.make(sympify(other), self)
+
+    def __mod__(self, other: ExprLike) -> "Expr":
+        return Mod.make(self, sympify(other))
+
+    def __rmod__(self, other: ExprLike) -> "Expr":
+        return Mod.make(sympify(other), self)
+
+    def __pow__(self, other: ExprLike) -> "Expr":
+        return Pow.make(self, sympify(other))
+
+    # -- comparisons produce boolean expressions -----------------------------
+    def eq(self, other: ExprLike) -> "BoolExpr":
+        return Compare.make("==", self, sympify(other))
+
+    def ne(self, other: ExprLike) -> "BoolExpr":
+        return Compare.make("!=", self, sympify(other))
+
+    def lt(self, other: ExprLike) -> "BoolExpr":
+        return Compare.make("<", self, sympify(other))
+
+    def le(self, other: ExprLike) -> "BoolExpr":
+        return Compare.make("<=", self, sympify(other))
+
+    def gt(self, other: ExprLike) -> "BoolExpr":
+        return Compare.make(">", self, sympify(other))
+
+    def ge(self, other: ExprLike) -> "BoolExpr":
+        return Compare.make(">=", self, sympify(other))
+
+    # -- structural equality / hashing ---------------------------------------
+    def key(self) -> tuple:
+        """Structural key used for equality and hashing."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, float)):
+            other = sympify(other)
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    # -- analysis -------------------------------------------------------------
+    def free_symbols(self) -> frozenset:
+        """Set of :class:`Symbol` objects appearing in the expression."""
+        result = set()
+        for child in self.children():
+            result |= child.free_symbols()
+        return frozenset(result)
+
+    def children(self) -> Sequence["Expr"]:
+        return ()
+
+    def subs(self, mapping: Mapping[Union[str, "Symbol"], ExprLike]) -> "Expr":
+        """Substitute symbols (by name or object) and re-simplify."""
+        normalized: Dict[str, Expr] = {}
+        for key, value in mapping.items():
+            name = key.name if isinstance(key, Symbol) else str(key)
+            normalized[name] = sympify(value)
+        return self._subs(normalized)
+
+    def _subs(self, mapping: Dict[str, "Expr"]) -> "Expr":
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
+        """Evaluate the expression numerically.
+
+        Raises :class:`SymbolicError` if a free symbol is missing from
+        ``env``.
+        """
+        raise NotImplementedError
+
+    def is_constant(self) -> bool:
+        return not self.free_symbols()
+
+    def as_int(self) -> int:
+        """Return the expression as a Python int if it is an integer constant."""
+        if isinstance(self, Integer):
+            return self.value
+        if self.is_constant():
+            value = self.evaluate({})
+            if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+                return int(value)
+        raise SymbolicError(f"{self} is not an integer constant")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self})"
+
+    def __str__(self) -> str:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        # Guard against `if expr:` silently misbehaving for symbolic values.
+        if isinstance(self, Integer):
+            return self.value != 0
+        if isinstance(self, BoolConst):
+            return self.value
+        raise SymbolicError(
+            f"Truth value of symbolic expression {self} is ambiguous; "
+            "use .evaluate() or comparison helpers"
+        )
+
+
+class Integer(Expr):
+    """Integer constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if not isinstance(value, int):
+            raise SymbolicError(f"Integer requires an int, got {value!r}")
+        self.value = value
+
+    def key(self) -> tuple:
+        return ("int", self.value)
+
+    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+        return self
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
+        return self.value
+
+    def free_symbols(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class Float(Expr):
+    """Floating-point constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def key(self) -> tuple:
+        return ("float", self.value)
+
+    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+        return self
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
+        return self.value
+
+    def free_symbols(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+class Symbol(Expr):
+    """A named symbolic value (e.g. an array dimension ``N``)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise SymbolicError(f"Symbol requires a non-empty name, got {name!r}")
+        self.name = name
+
+    def key(self) -> tuple:
+        return ("sym", self.name)
+
+    def free_symbols(self) -> frozenset:
+        return frozenset({self})
+
+    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+        return mapping.get(self.name, self)
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
+        env = env or {}
+        if self.name not in env:
+            raise SymbolicError(f"Symbol {self.name!r} has no value in environment")
+        return env[self.name]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def symbols(names: str) -> tuple:
+    """Create multiple symbols from a whitespace/comma separated string."""
+    parts = [part for part in names.replace(",", " ").split() if part]
+    return tuple(Symbol(part) for part in parts)
+
+
+def _const_value(expr: Expr):
+    if isinstance(expr, Integer):
+        return expr.value
+    if isinstance(expr, Float):
+        return expr.value
+    return None
+
+
+class Add(Expr):
+    """Sum of terms (n-ary, flattened, constants folded)."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Sequence[Expr]):
+        self.args = tuple(args)
+
+    @staticmethod
+    def make(*operands: Expr) -> Expr:
+        terms: list[Expr] = []
+        constant: Number = 0
+        is_float = False
+
+        def push(term: Expr) -> None:
+            nonlocal constant, is_float
+            if isinstance(term, Add):
+                for sub in term.args:
+                    push(sub)
+                return
+            value = _const_value(term)
+            if value is not None:
+                constant = constant + value
+                is_float = is_float or isinstance(term, Float)
+                return
+            terms.append(term)
+
+        for operand in operands:
+            push(sympify(operand))
+
+        # Collect like terms: coefficient * base
+        collected: Dict[tuple, list] = {}
+        order: list[tuple] = []
+        for term in terms:
+            coeff, base = _split_coefficient(term)
+            key = base.key()
+            if key not in collected:
+                collected[key] = [0, base]
+                order.append(key)
+            collected[key][0] += coeff
+        new_terms = []
+        for key in order:
+            coeff, base = collected[key]
+            if coeff == 0:
+                continue
+            if coeff == 1:
+                new_terms.append(base)
+            else:
+                new_terms.append(Mul.make(_number_to_expr(coeff), base))
+
+        if constant != 0 or not new_terms:
+            const_expr = _number_to_expr(constant, prefer_float=is_float)
+            if constant != 0 or not new_terms:
+                new_terms = new_terms + [const_expr] if new_terms else [const_expr]
+        if len(new_terms) == 1:
+            return new_terms[0]
+        return Add(new_terms)
+
+    def children(self) -> Sequence[Expr]:
+        return self.args
+
+    def key(self) -> tuple:
+        return ("add", tuple(sorted(arg.key() for arg in self.args)))
+
+    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+        return Add.make(*[arg._subs(mapping) for arg in self.args])
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
+        return sum(arg.evaluate(env) for arg in self.args)
+
+    def __str__(self) -> str:
+        parts = []
+        for index, arg in enumerate(self.args):
+            text = _maybe_paren(arg, Add)
+            if index == 0:
+                parts.append(text)
+            elif text.startswith("-"):
+                parts.append(f"- {text[1:]}")
+            else:
+                parts.append(f"+ {text}")
+        return " ".join(parts)
+
+
+class Mul(Expr):
+    """Product of factors (n-ary, flattened, constants folded)."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Sequence[Expr]):
+        self.args = tuple(args)
+
+    @staticmethod
+    def make(*operands: Expr) -> Expr:
+        factors: list[Expr] = []
+        constant: Number = 1
+        is_float = False
+
+        def push(factor: Expr) -> None:
+            nonlocal constant, is_float
+            if isinstance(factor, Mul):
+                for sub in factor.args:
+                    push(sub)
+                return
+            value = _const_value(factor)
+            if value is not None:
+                constant = constant * value
+                is_float = is_float or isinstance(factor, Float)
+                return
+            factors.append(factor)
+
+        for operand in operands:
+            push(sympify(operand))
+
+        if constant == 0:
+            return _number_to_expr(0, prefer_float=is_float)
+        # Distribute a constant coefficient over a sum so that differences of
+        # affine index expressions cancel (e.g. i - (i - 1) simplifies to 1).
+        if len(factors) == 1 and isinstance(factors[0], Add) and constant != 1:
+            coefficient = _number_to_expr(constant, prefer_float=is_float)
+            return Add.make(*[Mul.make(coefficient, term) for term in factors[0].args])
+        result_factors: list[Expr] = []
+        if constant != 1 or not factors:
+            result_factors.append(_number_to_expr(constant, prefer_float=is_float))
+        result_factors.extend(factors)
+        if len(result_factors) == 1:
+            return result_factors[0]
+        return Mul(result_factors)
+
+    def children(self) -> Sequence[Expr]:
+        return self.args
+
+    def key(self) -> tuple:
+        return ("mul", tuple(sorted(arg.key() for arg in self.args)))
+
+    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+        return Mul.make(*[arg._subs(mapping) for arg in self.args])
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
+        result: Number = 1
+        for arg in self.args:
+            result = result * arg.evaluate(env)
+        return result
+
+    def __str__(self) -> str:
+        return " * ".join(_maybe_paren(arg, Mul) for arg in self.args)
+
+
+class Div(Expr):
+    """True division (kept exact when both sides are integer constants that divide)."""
+
+    __slots__ = ("num", "den")
+
+    def __init__(self, num: Expr, den: Expr):
+        self.num = num
+        self.den = den
+
+    @staticmethod
+    def make(num: Expr, den: Expr) -> Expr:
+        num = sympify(num)
+        den = sympify(den)
+        dval = _const_value(den)
+        if dval == 0:
+            raise SymbolicError("Division by zero in symbolic expression")
+        nval = _const_value(num)
+        if nval is not None and dval is not None:
+            if isinstance(nval, int) and isinstance(dval, int) and nval % dval == 0:
+                return Integer(nval // dval)
+            return Float(nval / dval)
+        if dval == 1:
+            return num
+        return Div(num, den)
+
+    def children(self) -> Sequence[Expr]:
+        return (self.num, self.den)
+
+    def key(self) -> tuple:
+        return ("div", self.num.key(), self.den.key())
+
+    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+        return Div.make(self.num._subs(mapping), self.den._subs(mapping))
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
+        return self.num.evaluate(env) / self.den.evaluate(env)
+
+    def __str__(self) -> str:
+        return f"{_maybe_paren(self.num, Div)} / {_maybe_paren(self.den, Div)}"
+
+
+class FloorDiv(Expr):
+    """Floor division, used for tiling and strided subsets."""
+
+    __slots__ = ("num", "den")
+
+    def __init__(self, num: Expr, den: Expr):
+        self.num = num
+        self.den = den
+
+    @staticmethod
+    def make(num: Expr, den: Expr) -> Expr:
+        num = sympify(num)
+        den = sympify(den)
+        dval = _const_value(den)
+        if dval == 0:
+            raise SymbolicError("Floor division by zero in symbolic expression")
+        nval = _const_value(num)
+        if nval is not None and dval is not None:
+            return Integer(int(math.floor(nval / dval)))
+        if dval == 1:
+            return num
+        return FloorDiv(num, den)
+
+    def children(self) -> Sequence[Expr]:
+        return (self.num, self.den)
+
+    def key(self) -> tuple:
+        return ("floordiv", self.num.key(), self.den.key())
+
+    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+        return FloorDiv.make(self.num._subs(mapping), self.den._subs(mapping))
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
+        return int(math.floor(self.num.evaluate(env) / self.den.evaluate(env)))
+
+    def __str__(self) -> str:
+        return f"{_maybe_paren(self.num, FloorDiv)} // {_maybe_paren(self.den, FloorDiv)}"
+
+
+class Mod(Expr):
+    """Modulo operation."""
+
+    __slots__ = ("num", "den")
+
+    def __init__(self, num: Expr, den: Expr):
+        self.num = num
+        self.den = den
+
+    @staticmethod
+    def make(num: Expr, den: Expr) -> Expr:
+        num = sympify(num)
+        den = sympify(den)
+        dval = _const_value(den)
+        if dval == 0:
+            raise SymbolicError("Modulo by zero in symbolic expression")
+        nval = _const_value(num)
+        if nval is not None and dval is not None:
+            return _number_to_expr(nval % dval)
+        if dval == 1:
+            return Integer(0)
+        return Mod(num, den)
+
+    def children(self) -> Sequence[Expr]:
+        return (self.num, self.den)
+
+    def key(self) -> tuple:
+        return ("mod", self.num.key(), self.den.key())
+
+    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+        return Mod.make(self.num._subs(mapping), self.den._subs(mapping))
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
+        return self.num.evaluate(env) % self.den.evaluate(env)
+
+    def __str__(self) -> str:
+        return f"{_maybe_paren(self.num, Mod)} % {_maybe_paren(self.den, Mod)}"
+
+
+class Pow(Expr):
+    """Power operation (rarely needed; kept for math-dialect lowering)."""
+
+    __slots__ = ("base", "exp")
+
+    def __init__(self, base: Expr, exp: Expr):
+        self.base = base
+        self.exp = exp
+
+    @staticmethod
+    def make(base: Expr, exp: Expr) -> Expr:
+        base = sympify(base)
+        exp = sympify(exp)
+        bval = _const_value(base)
+        eval_ = _const_value(exp)
+        if bval is not None and eval_ is not None:
+            return _number_to_expr(bval**eval_)
+        if eval_ == 1:
+            return base
+        if eval_ == 0:
+            return Integer(1)
+        return Pow(base, exp)
+
+    def children(self) -> Sequence[Expr]:
+        return (self.base, self.exp)
+
+    def key(self) -> tuple:
+        return ("pow", self.base.key(), self.exp.key())
+
+    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+        return Pow.make(self.base._subs(mapping), self.exp._subs(mapping))
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
+        return self.base.evaluate(env) ** self.exp.evaluate(env)
+
+    def __str__(self) -> str:
+        return f"{_maybe_paren(self.base, Pow)} ** {_maybe_paren(self.exp, Pow)}"
+
+
+class Min(Expr):
+    """n-ary minimum."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Sequence[Expr]):
+        self.args = tuple(args)
+
+    @staticmethod
+    def make(*operands: ExprLike) -> Expr:
+        return _make_minmax(Min, min, operands)
+
+    def children(self) -> Sequence[Expr]:
+        return self.args
+
+    def key(self) -> tuple:
+        return ("min", tuple(sorted(arg.key() for arg in self.args)))
+
+    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+        return Min.make(*[arg._subs(mapping) for arg in self.args])
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
+        return min(arg.evaluate(env) for arg in self.args)
+
+    def __str__(self) -> str:
+        return "Min(" + ", ".join(str(arg) for arg in self.args) + ")"
+
+
+class Max(Expr):
+    """n-ary maximum."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Sequence[Expr]):
+        self.args = tuple(args)
+
+    @staticmethod
+    def make(*operands: ExprLike) -> Expr:
+        return _make_minmax(Max, max, operands)
+
+    def children(self) -> Sequence[Expr]:
+        return self.args
+
+    def key(self) -> tuple:
+        return ("max", tuple(sorted(arg.key() for arg in self.args)))
+
+    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+        return Max.make(*[arg._subs(mapping) for arg in self.args])
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
+        return max(arg.evaluate(env) for arg in self.args)
+
+    def __str__(self) -> str:
+        return "Max(" + ", ".join(str(arg) for arg in self.args) + ")"
+
+
+def _linear_bounds_assuming_positive(expr: Expr):
+    """(lower, upper) bounds of ``expr`` assuming every symbol is an integer >= 1.
+
+    Returns ``None`` for a bound that cannot be established.  Only linear
+    combinations of symbols are analyzed.
+    """
+    terms = expr.args if isinstance(expr, Add) else (expr,)
+    lower: Number | None = 0
+    upper: Number | None = 0
+    for term in terms:
+        value = _const_value(term)
+        if value is not None:
+            lower = None if lower is None else lower + value
+            upper = None if upper is None else upper + value
+            continue
+        coefficient, base = _split_coefficient(term)
+        if not isinstance(base, Symbol):
+            return None, None
+        if coefficient > 0:
+            lower = None if lower is None else lower + coefficient  # symbol >= 1
+            upper = None  # unbounded above
+        elif coefficient < 0:
+            lower = None  # unbounded below
+            upper = None if upper is None else upper + coefficient
+    return lower, upper
+
+
+def _provably_ge(a: Expr, b: Expr) -> bool:
+    """Whether ``a >= b`` holds for all positive integer symbol values."""
+    lower, _ = _linear_bounds_assuming_positive(Add.make(a, Mul.make(Integer(-1), b)))
+    return lower is not None and lower >= 0
+
+
+def _make_minmax(cls, fold, operands: Iterable[ExprLike]) -> Expr:
+    flat: list[Expr] = []
+    constants: list[Number] = []
+    for operand in operands:
+        expr = sympify(operand)
+        if isinstance(expr, cls):
+            flat.extend(expr.args)
+        else:
+            flat.append(expr)
+    unique: Dict[tuple, Expr] = {}
+    symbolic: list[Expr] = []
+    for expr in flat:
+        value = _const_value(expr)
+        if value is not None:
+            constants.append(value)
+            continue
+        if expr.key() not in unique:
+            unique[expr.key()] = expr
+            symbolic.append(expr)
+    args: list[Expr] = list(symbolic)
+    if constants:
+        args.append(_number_to_expr(fold(constants)))
+    if not args:
+        raise SymbolicError("Min/Max requires at least one operand")
+    # Prune arguments dominated under the positive-symbol assumption
+    # (array sizes / trip counts are >= 1), e.g. Min(N - 1, 0) -> 0.
+    if len(args) > 1:
+        kept: list[Expr] = []
+        for candidate in args:
+            dominated = False
+            for other in args:
+                if other is candidate:
+                    continue
+                if cls is Min and _provably_ge(candidate, other):
+                    dominated = True
+                    break
+                if cls is Max and _provably_ge(other, candidate):
+                    dominated = True
+                    break
+            if not dominated:
+                kept.append(candidate)
+        if kept:
+            args = kept
+    if len(args) == 1:
+        return args[0]
+    return cls(args)
+
+
+# ---------------------------------------------------------------------------
+# Boolean expressions
+# ---------------------------------------------------------------------------
+
+
+class BoolExpr(Expr):
+    """Base class for boolean-valued symbolic expressions."""
+
+    __slots__ = ()
+
+    def logical_and(self, other: "BoolExpr") -> "BoolExpr":
+        return And.make(self, other)
+
+    def logical_or(self, other: "BoolExpr") -> "BoolExpr":
+        return Or.make(self, other)
+
+    def logical_not(self) -> "BoolExpr":
+        return Not.make(self)
+
+
+class BoolConst(BoolExpr):
+    """Boolean constant ``true`` / ``false``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = bool(value)
+
+    def key(self) -> tuple:
+        return ("bool", self.value)
+
+    def free_symbols(self) -> frozenset:
+        return frozenset()
+
+    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+        return self
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
+        return self.value
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+_COMPARE_FOLD = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Compare(BoolExpr):
+    """Binary comparison between two arithmetic expressions."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr):
+        if op not in _COMPARE_FOLD:
+            raise SymbolicError(f"Unknown comparison operator {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    @staticmethod
+    def make(op: str, lhs: ExprLike, rhs: ExprLike) -> BoolExpr:
+        lhs = sympify(lhs)
+        rhs = sympify(rhs)
+        lval = _const_value(lhs)
+        rval = _const_value(rhs)
+        if lval is not None and rval is not None:
+            return BoolConst(_COMPARE_FOLD[op](lval, rval))
+        # Structural: x == x, x <= x, x >= x are trivially true; x < x false.
+        if lhs.key() == rhs.key():
+            if op in ("==", "<=", ">="):
+                return TRUE
+            if op in ("!=", "<", ">"):
+                return FALSE
+        # Normalize to a comparison against zero difference where possible.
+        diff = Add.make(lhs, Mul.make(Integer(-1), rhs))
+        dval = _const_value(diff)
+        if dval is not None:
+            return BoolConst(_COMPARE_FOLD[op](dval, 0))
+        return Compare(op, lhs, rhs)
+
+    def children(self) -> Sequence[Expr]:
+        return (self.lhs, self.rhs)
+
+    def key(self) -> tuple:
+        return ("cmp", self.op, self.lhs.key(), self.rhs.key())
+
+    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+        return Compare.make(self.op, self.lhs._subs(mapping), self.rhs._subs(mapping))
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
+        return _COMPARE_FOLD[self.op](self.lhs.evaluate(env), self.rhs.evaluate(env))
+
+    def __str__(self) -> str:
+        return f"{self.lhs} {self.op} {self.rhs}"
+
+
+class And(BoolExpr):
+    """Logical conjunction."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Sequence[BoolExpr]):
+        self.args = tuple(args)
+
+    @staticmethod
+    def make(*operands: ExprLike) -> BoolExpr:
+        flat: list[BoolExpr] = []
+        for operand in operands:
+            expr = sympify(operand)
+            if isinstance(expr, And):
+                flat.extend(expr.args)
+            elif isinstance(expr, BoolConst):
+                if not expr.value:
+                    return FALSE
+            else:
+                flat.append(expr)
+        if not flat:
+            return TRUE
+        if len(flat) == 1:
+            return flat[0]
+        return And(flat)
+
+    def children(self) -> Sequence[Expr]:
+        return self.args
+
+    def key(self) -> tuple:
+        return ("and", tuple(sorted(arg.key() for arg in self.args)))
+
+    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+        return And.make(*[arg._subs(mapping) for arg in self.args])
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
+        return all(arg.evaluate(env) for arg in self.args)
+
+    def __str__(self) -> str:
+        return " and ".join(f"({arg})" for arg in self.args)
+
+
+class Or(BoolExpr):
+    """Logical disjunction."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Sequence[BoolExpr]):
+        self.args = tuple(args)
+
+    @staticmethod
+    def make(*operands: ExprLike) -> BoolExpr:
+        flat: list[BoolExpr] = []
+        for operand in operands:
+            expr = sympify(operand)
+            if isinstance(expr, Or):
+                flat.extend(expr.args)
+            elif isinstance(expr, BoolConst):
+                if expr.value:
+                    return TRUE
+            else:
+                flat.append(expr)
+        if not flat:
+            return FALSE
+        if len(flat) == 1:
+            return flat[0]
+        return Or(flat)
+
+    def children(self) -> Sequence[Expr]:
+        return self.args
+
+    def key(self) -> tuple:
+        return ("or", tuple(sorted(arg.key() for arg in self.args)))
+
+    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+        return Or.make(*[arg._subs(mapping) for arg in self.args])
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
+        return any(arg.evaluate(env) for arg in self.args)
+
+    def __str__(self) -> str:
+        return " or ".join(f"({arg})" for arg in self.args)
+
+
+class Not(BoolExpr):
+    """Logical negation."""
+
+    __slots__ = ("arg",)
+
+    def __init__(self, arg: BoolExpr):
+        self.arg = arg
+
+    @staticmethod
+    def make(operand: ExprLike) -> BoolExpr:
+        expr = sympify(operand)
+        if isinstance(expr, BoolConst):
+            return BoolConst(not expr.value)
+        if isinstance(expr, Not):
+            return expr.arg
+        if isinstance(expr, Compare):
+            negated = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+            return Compare.make(negated[expr.op], expr.lhs, expr.rhs)
+        return Not(expr)
+
+    def children(self) -> Sequence[Expr]:
+        return (self.arg,)
+
+    def key(self) -> tuple:
+        return ("not", self.arg.key())
+
+    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+        return Not.make(self.arg._subs(mapping))
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
+        return not self.arg.evaluate(env)
+
+    def __str__(self) -> str:
+        return f"not ({self.arg})"
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _number_to_expr(value: Number, prefer_float: bool = False) -> Expr:
+    if isinstance(value, bool):
+        return BoolConst(value)
+    if isinstance(value, int) and not prefer_float:
+        return Integer(value)
+    if isinstance(value, float) and value.is_integer() and not prefer_float:
+        return Integer(int(value))
+    return Float(float(value))
+
+
+def _split_coefficient(term: Expr) -> tuple:
+    """Split ``term`` into (numeric coefficient, symbolic remainder)."""
+    if isinstance(term, Mul):
+        coeff: Number = 1
+        rest: list[Expr] = []
+        for factor in term.args:
+            value = _const_value(factor)
+            if value is not None:
+                coeff *= value
+            else:
+                rest.append(factor)
+        if not rest:
+            return coeff, Integer(1)
+        if len(rest) == 1:
+            return coeff, rest[0]
+        return coeff, Mul(rest)
+    return 1, term
+
+
+_PRECEDENCE = {Add: 1, Compare: 0, Or: 0, And: 0, Mul: 2, Div: 2, FloorDiv: 2, Mod: 2, Pow: 3}
+
+
+def _maybe_paren(expr: Expr, parent_cls: type) -> str:
+    text = str(expr)
+    child_prec = _PRECEDENCE.get(type(expr))
+    parent_prec = _PRECEDENCE.get(parent_cls)
+    if child_prec is not None and parent_prec is not None and child_prec < parent_prec:
+        return f"({text})"
+    return text

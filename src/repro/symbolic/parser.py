@@ -1,0 +1,271 @@
+"""Parser turning strings like ``"2*N + 1"`` into symbolic expressions.
+
+The ``sdfg`` dialect stores symbolic sizes as strings (``sym("2*N")``,
+see §3.1 of the paper), so the bridge needs a small, robust expression
+parser.  The grammar covers the arithmetic and boolean operators used in
+memlet subsets, interstate edge conditions and symbolic shapes:
+
+    expr     := ternary
+    ternary  := or_expr ('?' expr ':' expr)?
+    or_expr  := and_expr ('or' and_expr)*
+    and_expr := not_expr ('and' not_expr)*
+    not_expr := 'not' not_expr | comparison
+    comparison := arith (('=='|'!='|'<'|'<='|'>'|'>=') arith)?
+    arith    := term (('+'|'-') term)*
+    term     := unary (('*'|'/'|'//'|'%') unary)*
+    unary    := ('-'|'+') unary | power
+    power    := atom ('**' unary)?
+    atom     := NUMBER | NAME | NAME '(' args ')' | '(' expr ')'
+
+``Min``/``Max`` (any capitalization) and ``min``/``max`` parse to the
+corresponding n-ary nodes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from .expr import (
+    Add,
+    And,
+    BoolConst,
+    Compare,
+    Div,
+    Expr,
+    Float,
+    FloorDiv,
+    Integer,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Not,
+    Or,
+    Pow,
+    Symbol,
+    SymbolicError,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<float>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)"
+    r"|(?P<int>\d+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op>\*\*|//|==|!=|<=|>=|&&|\|\||[-+*/%()<>,?:])"
+    r")"
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text")
+
+    def __init__(self, kind: str, text: str):
+        self.kind = kind
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise SymbolicError(f"Cannot tokenize expression at: {remainder!r}")
+        pos = match.end()
+        for kind in ("float", "int", "name", "op"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(_Token(kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[_Token]:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise SymbolicError("Unexpected end of expression")
+        self.pos += 1
+        return token
+
+    def expect(self, text: str) -> None:
+        token = self.next()
+        if token.text != text:
+            raise SymbolicError(f"Expected {text!r}, found {token.text!r}")
+
+    def accept(self, text: str) -> bool:
+        token = self.peek()
+        if token is not None and token.text == text:
+            self.pos += 1
+            return True
+        return False
+
+    # Grammar ----------------------------------------------------------------
+    def parse(self) -> Expr:
+        expr = self.ternary()
+        if self.peek() is not None:
+            raise SymbolicError(f"Trailing tokens starting at {self.peek().text!r}")
+        return expr
+
+    def ternary(self) -> Expr:
+        condition = self.or_expr()
+        if self.accept("?"):
+            then_value = self.ternary()
+            self.expect(":")
+            else_value = self.ternary()
+            # Symbolic if-then-else: represent via min/max when possible is
+            # fragile, so fold constants and otherwise keep a Max/Min free
+            # encoding using arithmetic with the 0/1-valued condition.
+            if isinstance(condition, BoolConst):
+                return then_value if condition.value else else_value
+            return Add.make(
+                Mul.make(condition, then_value),
+                Mul.make(Add.make(Integer(1), Mul.make(Integer(-1), condition)), else_value),
+            )
+        return condition
+
+    def or_expr(self) -> Expr:
+        expr = self.and_expr()
+        while True:
+            token = self.peek()
+            if token is not None and token.text in ("or", "||"):
+                self.next()
+                expr = Or.make(expr, self.and_expr())
+            else:
+                return expr
+
+    def and_expr(self) -> Expr:
+        expr = self.not_expr()
+        while True:
+            token = self.peek()
+            if token is not None and token.text in ("and", "&&"):
+                self.next()
+                expr = And.make(expr, self.not_expr())
+            else:
+                return expr
+
+    def not_expr(self) -> Expr:
+        token = self.peek()
+        if token is not None and token.text in ("not", "!"):
+            self.next()
+            return Not.make(self.not_expr())
+        return self.comparison()
+
+    def comparison(self) -> Expr:
+        lhs = self.arith()
+        token = self.peek()
+        if token is not None and token.text in ("==", "!=", "<", "<=", ">", ">="):
+            op = self.next().text
+            rhs = self.arith()
+            return Compare.make(op, lhs, rhs)
+        return lhs
+
+    def arith(self) -> Expr:
+        expr = self.term()
+        while True:
+            token = self.peek()
+            if token is None or token.text not in ("+", "-"):
+                return expr
+            op = self.next().text
+            rhs = self.term()
+            if op == "+":
+                expr = Add.make(expr, rhs)
+            else:
+                expr = Add.make(expr, Mul.make(Integer(-1), rhs))
+
+    def term(self) -> Expr:
+        expr = self.unary()
+        while True:
+            token = self.peek()
+            if token is None or token.text not in ("*", "/", "//", "%"):
+                return expr
+            op = self.next().text
+            rhs = self.unary()
+            if op == "*":
+                expr = Mul.make(expr, rhs)
+            elif op == "/":
+                expr = Div.make(expr, rhs)
+            elif op == "//":
+                expr = FloorDiv.make(expr, rhs)
+            else:
+                expr = Mod.make(expr, rhs)
+
+    def unary(self) -> Expr:
+        token = self.peek()
+        if token is not None and token.text in ("-", "+"):
+            op = self.next().text
+            operand = self.unary()
+            if op == "-":
+                return Mul.make(Integer(-1), operand)
+            return operand
+        return self.power()
+
+    def power(self) -> Expr:
+        base = self.atom()
+        if self.accept("**"):
+            exponent = self.unary()
+            return Pow.make(base, exponent)
+        return base
+
+    def atom(self) -> Expr:
+        token = self.next()
+        if token.kind == "int":
+            return Integer(int(token.text))
+        if token.kind == "float":
+            return Float(float(token.text))
+        if token.text == "(":
+            expr = self.ternary()
+            self.expect(")")
+            return expr
+        if token.kind == "name":
+            name = token.text
+            if self.accept("("):
+                args = [self.ternary()]
+                while self.accept(","):
+                    args.append(self.ternary())
+                self.expect(")")
+                return _make_call(name, args)
+            lowered = name.lower()
+            if lowered == "true":
+                return BoolConst(True)
+            if lowered == "false":
+                return BoolConst(False)
+            return Symbol(name)
+        raise SymbolicError(f"Unexpected token {token.text!r}")
+
+
+def _make_call(name: str, args: List[Expr]) -> Expr:
+    lowered = name.lower()
+    if lowered == "min":
+        return Min.make(*args)
+    if lowered == "max":
+        return Max.make(*args)
+    if lowered == "abs" and len(args) == 1:
+        return Max.make(args[0], Mul.make(Integer(-1), args[0]))
+    raise SymbolicError(f"Unknown symbolic function {name!r}")
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse ``text`` into a symbolic expression."""
+    if not isinstance(text, str):
+        raise SymbolicError(f"parse_expr expects a string, got {type(text).__name__}")
+    tokens = _tokenize(text)
+    if not tokens:
+        raise SymbolicError("Empty expression string")
+    return _Parser(tokens).parse()

@@ -1,0 +1,274 @@
+"""Integer ranges and rectangular subsets for memlet analysis.
+
+SDFG memlets (§2.2 of the paper) describe the *subset* of a data container
+that moves along a dataflow edge, e.g. ``A[0:N, i]``.  The data-centric
+passes rely on a small algebra over these subsets: number of elements,
+coverage, intersection tests, bounding-box unions and offsetting.
+
+Ranges are half-open (``start`` inclusive, ``end`` exclusive) with a
+positive step; bounds may be symbolic expressions.  Queries that cannot be
+decided symbolically return ``None`` ("unknown") rather than guessing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
+
+from .expr import Expr, Integer, Max, Min, SymbolicError, sympify
+
+RangeLike = Union["Range", tuple, int, Expr, str]
+
+
+class Range:
+    """A one-dimensional strided index range ``[start, end) : step``."""
+
+    __slots__ = ("start", "end", "step")
+
+    def __init__(self, start, end, step=1):
+        self.start = sympify(start)
+        self.end = sympify(end)
+        self.step = sympify(step)
+        if isinstance(self.step, Integer) and self.step.value <= 0:
+            raise SymbolicError(f"Range step must be positive, got {self.step}")
+
+    # -- construction ---------------------------------------------------------
+    @staticmethod
+    def from_index(index) -> "Range":
+        """Single-element range for a point access ``A[i]``."""
+        index = sympify(index)
+        return Range(index, index + 1, 1)
+
+    @staticmethod
+    def make(value: RangeLike) -> "Range":
+        if isinstance(value, Range):
+            return value
+        if isinstance(value, tuple):
+            if len(value) == 2:
+                return Range(value[0], value[1])
+            if len(value) == 3:
+                return Range(value[0], value[1], value[2])
+            raise SymbolicError(f"Cannot build a Range from tuple of length {len(value)}")
+        return Range.from_index(value)
+
+    # -- queries --------------------------------------------------------------
+    def num_elements(self) -> Expr:
+        """Number of iterations/elements covered (symbolic)."""
+        span = self.end - self.start
+        if self.step == Integer(1):
+            return span
+        return (span + self.step - Integer(1)) // self.step
+
+    def is_point(self) -> bool:
+        return self.num_elements() == Integer(1)
+
+    def is_empty(self) -> Optional[bool]:
+        diff = self.end - self.start
+        if diff.is_constant():
+            return diff.as_int() <= 0
+        return None
+
+    def covers(self, other: "Range") -> Optional[bool]:
+        """Whether this range covers ``other`` entirely (None if unknown)."""
+        lower = self.start - other.start
+        upper = other.end - self.end
+        if lower.is_constant() and upper.is_constant():
+            return lower.as_int() <= 0 and upper.as_int() <= 0
+        # Structural: identical bounds always cover.
+        if self.start == other.start and self.end == other.end:
+            return True
+        return None
+
+    def intersects(self, other: "Range") -> Optional[bool]:
+        """Whether the two ranges overlap (None if unknown)."""
+        left = other.end - self.start
+        right = self.end - other.start
+        if left.is_constant() and right.is_constant():
+            return left.as_int() > 0 and right.as_int() > 0
+        if self.start == other.start and self.end == other.end:
+            empty = self.is_empty()
+            if empty is None:
+                return True
+            return not empty
+        return None
+
+    def union(self, other: "Range") -> "Range":
+        """Bounding-box union (may over-approximate)."""
+        return Range(Min.make(self.start, other.start), Max.make(self.end, other.end), 1)
+
+    def offset(self, amount, negative: bool = False) -> "Range":
+        amount = sympify(amount)
+        if negative:
+            amount = -amount
+        return Range(self.start + amount, self.end + amount, self.step)
+
+    def subs(self, mapping: Mapping[str, Expr]) -> "Range":
+        return Range(self.start.subs(mapping), self.end.subs(mapping), self.step.subs(mapping))
+
+    def free_symbols(self) -> frozenset:
+        return self.start.free_symbols() | self.end.free_symbols() | self.step.free_symbols()
+
+    def evaluate(self, env: Mapping[str, int] | None = None) -> range:
+        """Concrete Python range (requires all symbols bound)."""
+        return range(
+            int(self.start.evaluate(env)),
+            int(self.end.evaluate(env)),
+            int(self.step.evaluate(env)),
+        )
+
+    # -- comparison / printing -------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Range):
+            return NotImplemented
+        return self.start == other.start and self.end == other.end and self.step == other.step
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.end, self.step))
+
+    def __str__(self) -> str:
+        if self.is_point():
+            return str(self.start)
+        if self.step == Integer(1):
+            return f"{self.start}:{self.end}"
+        return f"{self.start}:{self.end}:{self.step}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Range({self.start}, {self.end}, {self.step})"
+
+
+class Subset:
+    """A rectangular, multi-dimensional subset: one :class:`Range` per dimension."""
+
+    __slots__ = ("ranges",)
+
+    def __init__(self, ranges: Iterable[RangeLike]):
+        self.ranges: List[Range] = [Range.make(r) for r in ranges]
+
+    # -- construction ---------------------------------------------------------
+    @staticmethod
+    def from_indices(indices: Sequence) -> "Subset":
+        """Point subset ``A[i, j, ...]``."""
+        return Subset([Range.from_index(index) for index in indices])
+
+    @staticmethod
+    def full(shape: Sequence) -> "Subset":
+        """The whole container ``A[0:d0, 0:d1, ...]``."""
+        return Subset([Range(0, dim) for dim in shape])
+
+    @staticmethod
+    def parse(text: str) -> "Subset":
+        """Parse a textual subset like ``"0:N, i, 2*j+1"``."""
+        ranges: List[Range] = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            pieces = part.split(":")
+            if len(pieces) == 1:
+                ranges.append(Range.from_index(pieces[0]))
+            elif len(pieces) == 2:
+                ranges.append(Range(pieces[0], pieces[1]))
+            elif len(pieces) == 3:
+                ranges.append(Range(pieces[0], pieces[1], pieces[2]))
+            else:
+                raise SymbolicError(f"Malformed range {part!r}")
+        if not ranges:
+            raise SymbolicError(f"Empty subset string {text!r}")
+        return Subset(ranges)
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def dims(self) -> int:
+        return len(self.ranges)
+
+    def num_elements(self) -> Expr:
+        total: Expr = Integer(1)
+        for rng in self.ranges:
+            total = total * rng.num_elements()
+        return total
+
+    def is_point(self) -> bool:
+        return all(rng.is_point() for rng in self.ranges)
+
+    def indices(self) -> List[Expr]:
+        """Point indices (only valid when :meth:`is_point` is true)."""
+        if not self.is_point():
+            raise SymbolicError(f"Subset {self} is not a single point")
+        return [rng.start for rng in self.ranges]
+
+    def covers(self, other: "Subset") -> Optional[bool]:
+        if self.dims != other.dims:
+            return None
+        result: Optional[bool] = True
+        for mine, theirs in zip(self.ranges, other.ranges):
+            covered = mine.covers(theirs)
+            if covered is False:
+                return False
+            if covered is None:
+                result = None
+        return result
+
+    def intersects(self, other: "Subset") -> Optional[bool]:
+        if self.dims != other.dims:
+            return None
+        result: Optional[bool] = True
+        for mine, theirs in zip(self.ranges, other.ranges):
+            overlap = mine.intersects(theirs)
+            if overlap is False:
+                return False
+            if overlap is None:
+                result = None
+        return result
+
+    def union(self, other: "Subset") -> "Subset":
+        if self.dims != other.dims:
+            raise SymbolicError(
+                f"Cannot union subsets of different dimensionality ({self.dims} vs {other.dims})"
+            )
+        return Subset([mine.union(theirs) for mine, theirs in zip(self.ranges, other.ranges)])
+
+    def offset(self, amounts: Sequence, negative: bool = False) -> "Subset":
+        if len(amounts) != self.dims:
+            raise SymbolicError("Offset vector length must match subset dimensionality")
+        return Subset(
+            [rng.offset(amount, negative) for rng, amount in zip(self.ranges, amounts)]
+        )
+
+    def subs(self, mapping: Mapping[str, Expr]) -> "Subset":
+        return Subset([rng.subs(mapping) for rng in self.ranges])
+
+    def free_symbols(self) -> frozenset:
+        result: frozenset = frozenset()
+        for rng in self.ranges:
+            result |= rng.free_symbols()
+        return result
+
+    def bounding_box_over(self, param: str, param_range: Range) -> "Subset":
+        """Union of this subset over all values of ``param`` in ``param_range``.
+
+        This is the core of memlet propagation through map scopes: the
+        per-iteration subset (a function of the map parameter) becomes a
+        parametric bounding box over the whole iteration range.
+        """
+        last = param_range.end - Integer(1)
+        at_first = self.subs({param: param_range.start})
+        at_last = self.subs({param: last})
+        return at_first.union(at_last)
+
+    def evaluate(self, env: Mapping[str, int] | None = None) -> tuple:
+        """Concrete tuple of Python ranges."""
+        return tuple(rng.evaluate(env) for rng in self.ranges)
+
+    # -- comparison / printing -------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Subset):
+            return NotImplemented
+        return self.ranges == other.ranges
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.ranges))
+
+    def __str__(self) -> str:
+        return ", ".join(str(rng) for rng in self.ranges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Subset([{self}])"

@@ -1,0 +1,50 @@
+"""Data-centric transformations (§6 of the paper)."""
+
+from .array_elimination import ArrayElimination
+from .dead_code import (
+    DeadDataflowElimination,
+    DeadStateElimination,
+    RedundantIterationElimination,
+)
+from .loop_analysis import LoopInfo, find_loops, symbols_used_in_state
+from .map_transforms import LoopToMap, MapFusion
+from .memlet_consolidation import MemletConsolidation
+from .memory_allocation import MemoryPreAllocation, StackPromotion
+from .pipeline import (
+    DataCentricPass,
+    DataCentricPipeline,
+    PipelineReport,
+    data_centric_pipeline,
+    memory_scheduling_pipeline,
+    simplification_pipeline,
+)
+from .simplify import simplify_sdfg
+from .state_fusion import StateFusion
+from .symbol_passes import ScalarToSymbolPromotion, SymbolPropagation
+from .wcr_detection import AugAssignToWCR
+
+__all__ = [
+    "ArrayElimination",
+    "AugAssignToWCR",
+    "DataCentricPass",
+    "DataCentricPipeline",
+    "DeadDataflowElimination",
+    "DeadStateElimination",
+    "LoopInfo",
+    "LoopToMap",
+    "MapFusion",
+    "MemletConsolidation",
+    "MemoryPreAllocation",
+    "PipelineReport",
+    "RedundantIterationElimination",
+    "ScalarToSymbolPromotion",
+    "StackPromotion",
+    "StateFusion",
+    "SymbolPropagation",
+    "data_centric_pipeline",
+    "find_loops",
+    "memory_scheduling_pipeline",
+    "simplification_pipeline",
+    "simplify_sdfg",
+    "symbols_used_in_state",
+]

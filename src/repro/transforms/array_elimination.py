@@ -1,0 +1,139 @@
+"""Array elimination (§6.2): removing dead memory.
+
+"Dead memory" covers unused arrays, extraneous copies and unused views.
+This pass removes transient containers that are never accessed anywhere —
+typically the result of dead dataflow elimination removing all of their
+writes — and contracts trivial copy chains (a transient written only by a
+full copy from another container and read with the same shape), reducing
+memory usage via a linear-time traversal.  Eliminated containers are
+recorded on ``sdfg.eliminated_containers`` so the evaluation can report
+how many arrays and scalars were removed (§7.3 reports 63 across the three
+case studies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..sdfg import SDFG, AccessNode, Memlet, Scalar
+from .pipeline import DataCentricPass
+
+
+class ArrayElimination(DataCentricPass):
+    """Remove never-accessed transients and contract redundant copies."""
+
+    NAME = "array-elimination"
+
+    def apply(self, sdfg: SDFG) -> bool:
+        changed = False
+        if self._remove_unused(sdfg):
+            changed = True
+        if self._contract_copies(sdfg):
+            changed = True
+        return changed
+
+    # -- unused containers --------------------------------------------------------
+    def _remove_unused(self, sdfg: SDFG) -> bool:
+        accessed: Set[str] = set()
+        for state in sdfg.states():
+            for node in state.data_nodes():
+                accessed.add(node.data)
+            for edge in state.edges():
+                if not edge.data.is_empty:
+                    accessed.add(edge.data.data)
+        for edge in sdfg.edges():
+            accessed |= edge.data.free_symbols()
+
+        changed = False
+        for name, descriptor in list(sdfg.arrays.items()):
+            if not descriptor.transient or name in accessed:
+                continue
+            if name in sdfg.return_values:
+                continue
+            sdfg.remove_data(name, validate=False)
+            changed = True
+        return changed
+
+    # -- redundant copy contraction --------------------------------------------------
+    def _contract_copies(self, sdfg: SDFG) -> bool:
+        """Remove transients whose only role is to hold a full copy.
+
+        Pattern (within a single state): ``src -> dst`` access-to-access edge
+        covering the whole destination, where ``dst`` is a transient of the
+        same shape, is never written anywhere else, and ``src`` is not
+        written later in the same state.  All reads of ``dst`` are redirected
+        to ``src``.
+        """
+        changed = False
+        for state in sdfg.states():
+            for node in list(state.data_nodes()):
+                if node not in state:
+                    continue
+                descriptor = sdfg.arrays.get(node.data)
+                if descriptor is None or not descriptor.transient:
+                    continue
+                if node.data in sdfg.return_values:
+                    continue
+                in_edges = state.in_edges(node)
+                if len(in_edges) != 1:
+                    continue
+                edge = in_edges[0]
+                if not isinstance(edge.src, AccessNode) or edge.src_conn or edge.dst_conn:
+                    continue
+                source = edge.src
+                if sdfg.arrays.get(source.data) is None:
+                    continue
+                if not self._same_shape(sdfg, source.data, node.data):
+                    continue
+                if not self._written_only_here(sdfg, state, node):
+                    continue
+                # Redirect all reads of the copy to the original container.
+                for out_edge in list(state.out_edges(node)):
+                    memlet = out_edge.data
+                    new_memlet = memlet.clone()
+                    if not new_memlet.is_empty:
+                        new_memlet.data = source.data
+                    state.add_edge(source, None, out_edge.dst, out_edge.dst_conn, new_memlet)
+                    state.remove_edge(out_edge)
+                # Redirect reads of the copy in *other* states as well.
+                for other_state in sdfg.states():
+                    for other_node in list(other_state.data_nodes()):
+                        if other_node.data != node.data or other_node is node:
+                            continue
+                        if other_state.in_degree(other_node) > 0:
+                            continue
+                        replacement = other_state.add_access(source.data)
+                        for out_edge in list(other_state.out_edges(other_node)):
+                            memlet = out_edge.data.clone()
+                            if not memlet.is_empty:
+                                memlet.data = source.data
+                            other_state.add_edge(
+                                replacement, None, out_edge.dst, out_edge.dst_conn, memlet
+                            )
+                            other_state.remove_edge(out_edge)
+                        other_state.remove_node(other_node)
+                state.remove_edge(edge)
+                state.remove_node(node)
+                sdfg.remove_data(node.data, validate=False)
+                changed = True
+        return changed
+
+    @staticmethod
+    def _same_shape(sdfg: SDFG, first: str, second: str) -> bool:
+        shape_a = sdfg.arrays[first].shape
+        shape_b = sdfg.arrays[second].shape
+        if len(shape_a) != len(shape_b):
+            return False
+        return all(a == b for a, b in zip(shape_a, shape_b))
+
+    @staticmethod
+    def _written_only_here(sdfg: SDFG, state, node) -> bool:
+        for other_state in sdfg.states():
+            for other_node in other_state.data_nodes():
+                if other_node.data != node.data:
+                    continue
+                if other_node is node:
+                    continue
+                if other_state.in_degree(other_node) > 0:
+                    return False
+        return True

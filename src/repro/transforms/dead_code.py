@@ -1,0 +1,234 @@
+"""Extended dead code elimination on the SDFG (§6.2).
+
+Three passes bridge control- and data-centric DCE:
+
+* :class:`DeadStateElimination` — uses propagated symbols to determine
+  whether a transition condition is always false and removes unreachable
+  state-machine states.
+* :class:`DeadDataflowElimination` — tracks future-reused data containers
+  and removes all computations that end up in unused temporary containers.
+  The implementation is a container-level "faint variable" analysis: a
+  transient container is live only if it (transitively) feeds an
+  externally observable container (program outputs, non-transients, or
+  values read by state-transition conditions); writes to non-live
+  containers, and the computations feeding only them, are removed.
+* :class:`RedundantIterationElimination` — collapses loops whose body
+  neither depends on the induction symbol nor carries data across
+  iterations; every iteration then writes the same values, so one
+  iteration suffices.  This is what fully collapses the paper's Fig. 2
+  example once the dead arrays are gone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+import networkx as nx
+
+from ..symbolic import BoolConst, FALSE, Integer
+from ..sdfg import SDFG, AccessNode, SDFGState, Tasklet
+from ..sdfg.nodes import MapEntry, MapExit, is_scope_entry, is_scope_exit
+from .loop_analysis import find_loops, symbols_used_in_state
+from .pipeline import DataCentricPass
+
+
+class DeadStateElimination(DataCentricPass):
+    """Remove provably-false transitions and unreachable states."""
+
+    NAME = "dead-state-elimination"
+
+    def apply(self, sdfg: SDFG) -> bool:
+        changed = False
+        # Remove edges whose condition is provably false.
+        for edge in list(sdfg.edges()):
+            condition = edge.data.condition
+            if isinstance(condition, BoolConst) and not condition.value:
+                sdfg.remove_edge(edge)
+                changed = True
+        # Remove states unreachable from the start state.
+        if sdfg.start_state is None:
+            return changed
+        reachable = set(nx.descendants(sdfg._graph, sdfg.start_state)) | {sdfg.start_state}
+        for state in list(sdfg.states()):
+            if state not in reachable:
+                for edge in list(sdfg.in_edges(state)) + list(sdfg.out_edges(state)):
+                    sdfg.remove_edge(edge)
+                sdfg.remove_state(state)
+                changed = True
+        return changed
+
+
+class DeadDataflowElimination(DataCentricPass):
+    """Remove computations whose results can never be observed."""
+
+    NAME = "dead-dataflow-elimination"
+
+    def apply(self, sdfg: SDFG) -> bool:
+        live = self._live_containers(sdfg)
+        changed = False
+        for state in sdfg.states():
+            if self._remove_dead_writes(sdfg, state, live):
+                changed = True
+        return changed
+
+    # -- analysis -----------------------------------------------------------------
+    def _live_containers(self, sdfg: SDFG) -> Set[str]:
+        observable: Set[str] = {
+            name for name, descriptor in sdfg.arrays.items() if not descriptor.transient
+        }
+        observable |= set(sdfg.return_values)
+        for edge in sdfg.edges():
+            observable |= edge.data.free_symbols() & set(sdfg.arrays)
+
+        # feeds[x] = containers written by computations that read x.
+        feeds: Dict[str, Set[str]] = {name: set() for name in sdfg.arrays}
+        for state in sdfg.states():
+            graph = state._graph
+            for read in state.data_nodes():
+                written: Set[str] = set()
+                for reached in nx.descendants(graph, read):
+                    if isinstance(reached, AccessNode):
+                        written.add(reached.data)
+                feeds.setdefault(read.data, set()).update(written)
+
+        live = set(observable)
+        frontier = list(observable)
+        while frontier:
+            target = frontier.pop()
+            for source, targets in feeds.items():
+                if source in live:
+                    continue
+                if targets & live:
+                    live.add(source)
+                    frontier.append(source)
+        # Re-run until fixed point (feeds is not transitive by itself).
+        changed = True
+        while changed:
+            changed = False
+            for source, targets in feeds.items():
+                if source not in live and targets & live:
+                    live.add(source)
+                    changed = True
+        return live
+
+    # -- rewrite -------------------------------------------------------------------
+    def _remove_dead_writes(self, sdfg: SDFG, state: SDFGState, live: Set[str]) -> bool:
+        changed = False
+        # Remove write edges into dead containers, then cascade-remove nodes
+        # that no longer contribute to anything.
+        for node in list(state.nodes()):
+            if not isinstance(node, AccessNode) or node not in state:
+                continue
+            if node.data in live:
+                continue
+            descriptor = sdfg.arrays.get(node.data)
+            if descriptor is None or not descriptor.transient:
+                continue
+            # All edges into/out of a dead container's access node disappear.
+            for edge in list(state.in_edges(node)) + list(state.out_edges(node)):
+                state.remove_edge(edge)
+                changed = True
+            state.remove_node(node)
+            changed = True
+        if changed:
+            self._cascade(state)
+        return changed
+
+    def _cascade(self, state: SDFGState) -> None:
+        """Remove code nodes whose outputs are no longer consumed."""
+        changed = True
+        while changed:
+            changed = False
+            for node in list(state.nodes()):
+                if node not in state:
+                    continue
+                if isinstance(node, Tasklet):
+                    if state.out_degree(node) == 0:
+                        for edge in list(state.in_edges(node)):
+                            state.remove_edge(edge)
+                        state.remove_node(node)
+                        changed = True
+                elif isinstance(node, AccessNode):
+                    # Reads that no longer feed anything.
+                    if state.out_degree(node) == 0 and state.in_degree(node) == 0:
+                        state.remove_node(node)
+                        changed = True
+                elif is_scope_entry(node) or is_scope_exit(node):
+                    continue
+
+
+class RedundantIterationElimination(DataCentricPass):
+    """Collapse loops whose iterations are all identical.
+
+    Conditions: the loop is a recognized counted loop; no state in the body
+    uses the induction symbol; the body neither reads what it writes (no
+    loop-carried dataflow) nor assigns other symbols on its internal edges.
+    The latch assignment is then changed to jump directly to the loop bound,
+    so the body executes at most once.
+    """
+
+    NAME = "redundant-iteration-elimination"
+
+    def apply(self, sdfg: SDFG) -> bool:
+        changed = False
+        for loop in find_loops(sdfg):
+            if loop.induction_symbol is None or loop.bound_expr is None:
+                continue
+            induction = loop.induction_symbol
+            if self._already_collapsed(loop, induction):
+                continue
+            if not self._is_redundant(sdfg, loop, induction):
+                continue
+            for latch in loop.latch_edges:
+                latch.data.assignments[induction] = loop.bound_expr
+            changed = True
+        return changed
+
+    def _already_collapsed(self, loop, induction: str) -> bool:
+        return all(
+            latch.data.assignments.get(induction) == loop.bound_expr
+            for latch in loop.latch_edges
+        )
+
+    def _is_redundant(self, sdfg: SDFG, loop, induction: str) -> bool:
+        reads: Set[str] = set()
+        writes: Set[str] = set()
+        assigned_inside: Set[str] = set()
+        loop_region = loop.body_states | {loop.guard}
+        for state in loop.body_states:
+            if induction in symbols_used_in_state(state):
+                return False
+            reads |= state.read_set()
+            writes |= state.write_set()
+            for edge in sdfg.out_edges(state):
+                if edge.dst in loop_region:
+                    if induction in edge.data.free_symbols() and edge not in loop.latch_edges:
+                        return False
+                    for name in edge.data.assignments:
+                        if edge in loop.latch_edges and name != induction:
+                            return False
+                        if name != induction:
+                            assigned_inside.add(name)
+        if reads & writes:
+            return False
+        # Symbols assigned inside the body (e.g. inner loop counters) must not
+        # be observed outside the loop, otherwise collapsing the iteration
+        # count could change their final value's visibility.
+        if assigned_inside:
+            for state in sdfg.states():
+                if state in loop_region:
+                    continue
+                if assigned_inside & symbols_used_in_state(state):
+                    return False
+            for edge in sdfg.edges():
+                if edge.src in loop_region and edge.dst in loop_region:
+                    continue
+                if assigned_inside & edge.data.free_symbols():
+                    return False
+        # Conditions of internal edges must not depend on containers the body writes.
+        for state in loop.body_states | {loop.guard}:
+            for edge in sdfg.out_edges(state):
+                if edge.dst in loop.body_states or edge.dst is loop.guard:
+                    if edge.data.free_symbols() & writes:
+                        return False
+        return True

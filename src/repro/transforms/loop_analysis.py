@@ -1,0 +1,166 @@
+"""Detection of structured loops in the SDFG state machine.
+
+The converter lowers ``scf.for`` to a guard state with a conditional body
+edge, a conditional exit edge, and a latch edge carrying the increment
+assignment.  Several consumers need to re-discover that structure: the
+structured code generator (raising control flow back from the state
+machine, as §5.1 notes is possible via dominator analysis), the
+redundant-iteration and loop-to-map transformations, and the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..symbolic import Compare, Expr, Integer, Not, Symbol
+from ..sdfg import SDFG, SDFGState, StateEdge
+
+
+@dataclass
+class LoopInfo:
+    """A natural loop in the state machine with a recognized guard."""
+
+    guard: SDFGState
+    body_states: Set[SDFGState]
+    entry_edges: List[StateEdge]
+    body_edge: StateEdge
+    exit_edge: StateEdge
+    latch_edges: List[StateEdge]
+    induction_symbol: Optional[str] = None
+    init_expr: Optional[Expr] = None
+    step_expr: Optional[Expr] = None
+    bound_expr: Optional[Expr] = None  # loop runs while  induction < bound
+
+    @property
+    def condition(self) -> Expr:
+        return self.body_edge.data.condition
+
+    def trip_count(self) -> Optional[Expr]:
+        if self.init_expr is None or self.bound_expr is None or self.step_expr is None:
+            return None
+        if self.step_expr != Integer(1):
+            return (self.bound_expr - self.init_expr + self.step_expr - 1) // self.step_expr
+        return self.bound_expr - self.init_expr
+
+
+def _back_edges(sdfg: SDFG) -> List[StateEdge]:
+    """Edges whose destination dominates their source (loop latches)."""
+    if sdfg.start_state is None:
+        return []
+    graph = sdfg._graph
+    dominators = nx.immediate_dominators(graph, sdfg.start_state)
+
+    def dominates(a: SDFGState, b: SDFGState) -> bool:
+        current = b
+        while True:
+            if current is a:
+                return True
+            parent = dominators.get(current)
+            if parent is None or parent is current:
+                return False
+            current = parent
+
+    result = []
+    for edge in sdfg.edges():
+        if edge.dst in dominators and dominates(edge.dst, edge.src):
+            result.append(edge)
+    return result
+
+
+def _natural_loop(sdfg: SDFG, back_edge: StateEdge) -> Set[SDFGState]:
+    """States of the natural loop defined by a back edge (including guard)."""
+    guard = back_edge.dst
+    body: Set[SDFGState] = {guard, back_edge.src}
+    stack = [back_edge.src]
+    while stack:
+        state = stack.pop()
+        if state is guard:
+            continue
+        for edge in sdfg.in_edges(state):
+            if edge.src not in body:
+                body.add(edge.src)
+                stack.append(edge.src)
+    return body
+
+
+def find_loops(sdfg: SDFG) -> List[LoopInfo]:
+    """Find structured loops: guards with one body edge and one exit edge."""
+    loops: Dict[SDFGState, LoopInfo] = {}
+    for back_edge in _back_edges(sdfg):
+        guard = back_edge.dst
+        body = _natural_loop(sdfg, back_edge)
+        out_edges = sdfg.out_edges(guard)
+        if len(out_edges) != 2:
+            continue
+        inside = [edge for edge in out_edges if edge.dst in body]
+        outside = [edge for edge in out_edges if edge.dst not in body]
+        if len(inside) != 1 or len(outside) != 1:
+            continue
+        entry_edges = [
+            edge for edge in sdfg.in_edges(guard) if edge.src not in body or edge.src is guard
+        ]
+        entry_edges = [edge for edge in entry_edges if edge is not back_edge]
+        if guard in loops:
+            # Merge latches of nested back edges onto the same guard.
+            loops[guard].latch_edges.append(back_edge)
+            loops[guard].body_states |= body
+            continue
+        info = LoopInfo(
+            guard=guard,
+            body_states=body - {guard},
+            entry_edges=entry_edges,
+            body_edge=inside[0],
+            exit_edge=outside[0],
+            latch_edges=[back_edge],
+        )
+        _recognize_counted_loop(info)
+        loops[guard] = info
+    return list(loops.values())
+
+
+def _recognize_counted_loop(info: LoopInfo) -> None:
+    """Fill induction symbol / bounds when the loop is a counted loop."""
+    condition = info.body_edge.data.condition
+    if not isinstance(condition, Compare) or condition.op not in ("<", "<="):
+        return
+    if not isinstance(condition.lhs, Symbol):
+        return
+    induction = condition.lhs.name
+    bound = condition.rhs if condition.op == "<" else condition.rhs + Integer(1)
+
+    init_expr: Optional[Expr] = None
+    for edge in info.entry_edges:
+        if induction in edge.data.assignments:
+            init_expr = edge.data.assignments[induction]
+    step_expr: Optional[Expr] = None
+    for edge in info.latch_edges:
+        if induction in edge.data.assignments:
+            increment = edge.data.assignments[induction]
+            step_expr = increment - Symbol(induction)
+    if init_expr is None or step_expr is None:
+        return
+    if step_expr.free_symbols():
+        return
+    info.induction_symbol = induction
+    info.init_expr = init_expr
+    info.step_expr = step_expr
+    info.bound_expr = bound
+
+
+def symbols_used_in_state(state: SDFGState) -> Set[str]:
+    """Names of symbols referenced by memlets or tasklet code in a state."""
+    used: Set[str] = set()
+    for edge in state.edges():
+        used |= {symbol.name for symbol in edge.data.free_symbols()}
+    for tasklet in state.tasklets():
+        used |= tasklet.free_symbols()
+    from ..sdfg.nodes import MapEntry
+
+    for node in state.nodes():
+        if isinstance(node, MapEntry):
+            for rng in node.map.ranges:
+                used |= {symbol.name for symbol in rng.free_symbols()}
+    return used

@@ -1,0 +1,297 @@
+"""Parallel-scope transformations: LoopToMap and memory-reducing map fusion.
+
+``LoopToMap`` turns a counted state-machine loop whose iterations are
+independent into a parametric ``map`` scope — the SDFG's native form of
+parametric parallelism (§3.2) and the prerequisite for both vectorized code
+generation (the ICC/SLEEF effect of Fig. 8) and map fusion.
+
+``MapFusion`` implements the memory-reducing loop fusion of §6.3 in a
+deliberately conservative form: two map scopes in the same state with the
+same iteration space, connected exclusively through an elementwise
+transient, are merged; the intermediate drops from an array to a scalar,
+promoting cache locality and reducing the memory footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..symbolic import Range, Symbol
+from ..sdfg import SDFG, AccessNode, Memlet, SDFGState, Tasklet
+from ..sdfg.nodes import MapEntry, MapExit
+from .loop_analysis import LoopInfo, find_loops
+from .pipeline import DataCentricPass
+
+
+class LoopToMap(DataCentricPass):
+    """Convert independent counted state-machine loops into map scopes."""
+
+    NAME = "loop-to-map"
+
+    def apply(self, sdfg: SDFG) -> bool:
+        changed = False
+        for loop in find_loops(sdfg):
+            if self._convert(sdfg, loop):
+                changed = True
+        return changed
+
+    def _convert(self, sdfg: SDFG, loop: LoopInfo) -> bool:
+        if loop.induction_symbol is None or loop.bound_expr is None:
+            return False
+        if len(loop.body_states) != 1 or len(loop.latch_edges) != 1:
+            return False
+        body = next(iter(loop.body_states))
+        if loop.latch_edges[0].src is not body or loop.body_edge.dst is not body:
+            return False
+        # The body edge and latch must not carry extra work.
+        if loop.body_edge.data.assignments:
+            return False
+        extra_assignments = {
+            name: value
+            for name, value in loop.latch_edges[0].data.assignments.items()
+            if name != loop.induction_symbol
+        }
+        if extra_assignments:
+            return False
+        # Iterations must be independent: nothing read is also written,
+        # except through update (WCR) edges which commute.
+        reads = body.read_set()
+        writes = self._non_wcr_writes(body)
+        if reads & writes:
+            return False
+        if loop.step_expr is None or not loop.step_expr.is_constant():
+            return False
+
+        induction = loop.induction_symbol
+        map_range = Range(loop.init_expr, loop.bound_expr, loop.step_expr)
+        self._wrap_state_in_map(body, f"map_{induction}", induction, map_range)
+
+        # Rewire the state machine: predecessors of the guard go straight to
+        # the body, the body goes straight to the exit destination.
+        guard = loop.guard
+        exit_dst = loop.exit_edge.dst
+        for entry_edge in loop.entry_edges:
+            assignments = dict(entry_edge.data.assignments)
+            assignments.pop(induction, None)
+            sdfg.remove_edge(entry_edge)
+            sdfg.add_edge(entry_edge.src, body, type(entry_edge.data)(
+                entry_edge.data.condition, assignments))
+        sdfg.remove_edge(loop.body_edge)
+        sdfg.remove_edge(loop.exit_edge)
+        sdfg.remove_edge(loop.latch_edges[0])
+        sdfg.add_edge(body, exit_dst, type(loop.exit_edge.data)())
+        if sdfg.start_state is guard:
+            sdfg.start_state = body
+        if sdfg.in_degree(guard) == 0 and sdfg.out_degree(guard) == 0:
+            sdfg.remove_state(guard)
+        return True
+
+    @staticmethod
+    def _non_wcr_writes(state: SDFGState) -> Set[str]:
+        writes: Set[str] = set()
+        for edge in state.edges():
+            if edge.data.is_empty:
+                continue
+            if isinstance(edge.dst, AccessNode) and edge.data.wcr is None:
+                writes.add(edge.dst.data)
+        return writes
+
+    @staticmethod
+    def _wrap_state_in_map(state: SDFGState, label: str, param: str, map_range: Range) -> None:
+        entry, exit_node = state.add_map(label, [param], [map_range])
+        sources = [
+            node
+            for node in state.nodes()
+            if node not in (entry, exit_node) and state.in_degree(node) == 0
+        ]
+        sinks = [
+            node
+            for node in state.nodes()
+            if node not in (entry, exit_node) and state.out_degree(node) == 0
+        ]
+        for source in sources:
+            if isinstance(source, AccessNode):
+                # Reads enter the scope through the map entry.
+                for edge in list(state.out_edges(source)):
+                    connector = f"OUT_{source.data}"
+                    entry.add_in_connector(f"IN_{source.data}")
+                    entry.add_out_connector(connector)
+                    state.add_edge(entry, connector, edge.dst, edge.dst_conn, edge.data)
+                    state.remove_edge(edge)
+                descriptor_shape = state.sdfg.arrays[source.data].shape if state.sdfg else ()
+                outer = Memlet(
+                    data=source.data,
+                    subset=None if not descriptor_shape else None,
+                )
+                from ..symbolic import Subset
+
+                outer = Memlet(
+                    data=source.data,
+                    subset=Subset.full(descriptor_shape) if descriptor_shape else None,
+                )
+                state.add_edge(source, None, entry, f"IN_{source.data}", outer)
+            else:
+                state.add_nedge(entry, source, Memlet.empty())
+        for sink in sinks:
+            if sink in sources:
+                continue
+            if isinstance(sink, AccessNode):
+                for edge in list(state.in_edges(sink)):
+                    if edge.src is entry:
+                        continue
+                    connector = f"IN_{sink.data}"
+                    exit_node.add_in_connector(connector)
+                    exit_node.add_out_connector(f"OUT_{sink.data}")
+                    state.add_edge(edge.src, edge.src_conn, exit_node, connector, edge.data)
+                    state.remove_edge(edge)
+                descriptor_shape = state.sdfg.arrays[sink.data].shape if state.sdfg else ()
+                from ..symbolic import Subset
+
+                outer = Memlet(
+                    data=sink.data,
+                    subset=Subset.full(descriptor_shape) if descriptor_shape else None,
+                )
+                state.add_edge(exit_node, f"OUT_{sink.data}", sink, None, outer)
+            else:
+                state.add_nedge(sink, exit_node, Memlet.empty())
+        # Make sure the scope is connected even with no external reads.
+        if state.in_degree(entry) == 0 and state.out_degree(entry) == 0:
+            state.add_nedge(entry, exit_node, Memlet.empty())
+        from ..sdfg.propagation import propagate_memlets_state
+
+        if state.sdfg is not None:
+            propagate_memlets_state(state.sdfg, state)
+
+
+class MapFusion(DataCentricPass):
+    """Memory-reducing loop fusion (§6.3), conservative form.
+
+    Fuses two map scopes in the same state when they share the same single
+    parameter and range and the only dataflow between them is an
+    elementwise transient written by the first map and read by the second
+    at the same index.  The intermediate access is narrowed to the fused
+    iteration, removing the array-sized intermediate from the critical
+    path.
+    """
+
+    NAME = "map-fusion"
+
+    def apply(self, sdfg: SDFG) -> bool:
+        changed = False
+        for state in sdfg.states():
+            while self._fuse_once(sdfg, state):
+                changed = True
+        return changed
+
+    def _fuse_once(self, sdfg: SDFG, state: SDFGState) -> bool:
+        for intermediate in state.data_nodes():
+            if intermediate not in state:
+                continue
+            descriptor = sdfg.arrays.get(intermediate.data)
+            if descriptor is None or not descriptor.transient:
+                continue
+            in_edges = state.in_edges(intermediate)
+            out_edges = state.out_edges(intermediate)
+            if len(in_edges) != 1 or len(out_edges) != 1:
+                continue
+            producer_exit = in_edges[0].src
+            consumer_entry = out_edges[0].dst
+            if not isinstance(producer_exit, MapExit) or not isinstance(consumer_entry, MapEntry):
+                continue
+            first_map = producer_exit.map
+            second_map = consumer_entry.map
+            if len(first_map.params) != 1 or len(second_map.params) != 1:
+                continue
+            if first_map.ranges[0] != second_map.ranges[0]:
+                continue
+            self._fuse_scopes(sdfg, state, producer_exit, consumer_entry, intermediate)
+            return True
+        return False
+
+    def _fuse_scopes(self, sdfg: SDFG, state: SDFGState, producer_exit: MapExit,
+                     consumer_entry: MapEntry, intermediate: AccessNode) -> None:
+        first_entry = state.entry_node(producer_exit)
+        consumer_exit = state.exit_node(consumer_entry)
+        first_param = first_entry.map.params[0]
+        second_param = consumer_entry.map.params[0]
+
+        # Rename the second map's parameter to the first's inside its scope.
+        if second_param != first_param:
+            rename = {second_param: Symbol(first_param)}
+            scope = state.scope_dict()
+            for edge in state.edges():
+                if scope.get(edge.src) is consumer_entry or scope.get(edge.dst) is consumer_entry:
+                    if not edge.data.is_empty:
+                        edge.data = edge.data.subs(rename)
+            for node in state.nodes():
+                if scope.get(node) is consumer_entry and isinstance(node, Tasklet):
+                    node.code = _rename_identifier(node.code, second_param, first_param)
+
+        # Connect the producer's inner writers of the intermediate directly
+        # to the consumer's inner readers.
+        inner_write_edges = [
+            edge for edge in state.in_edges(producer_exit)
+            if not edge.data.is_empty and edge.data.data == intermediate.data
+        ]
+        inner_read_edges = [
+            edge for edge in state.out_edges(consumer_entry)
+            if not edge.data.is_empty and edge.data.data == intermediate.data
+        ]
+        for write_edge in inner_write_edges:
+            for read_edge in inner_read_edges:
+                state.add_edge(
+                    write_edge.src, write_edge.src_conn, read_edge.dst, read_edge.dst_conn,
+                    read_edge.data.clone(),
+                )
+        for edge in inner_write_edges + inner_read_edges:
+            state.remove_edge(edge)
+
+        # Move remaining external connections of the consumer scope onto the
+        # first scope's entry/exit.
+        for edge in list(state.in_edges(consumer_entry)):
+            state.remove_edge(edge)
+            if isinstance(edge.src, AccessNode) and edge.dst_conn:
+                connector = edge.dst_conn
+                first_entry.add_in_connector(connector)
+                state.add_edge(edge.src, edge.src_conn, first_entry, connector, edge.data)
+        for edge in list(state.out_edges(consumer_entry)):
+            state.remove_edge(edge)
+            if edge.src_conn:
+                first_entry.add_out_connector(edge.src_conn)
+                state.add_edge(first_entry, edge.src_conn, edge.dst, edge.dst_conn, edge.data)
+        for edge in list(state.in_edges(consumer_exit)):
+            state.remove_edge(edge)
+            if edge.dst_conn:
+                producer_exit.add_in_connector(edge.dst_conn)
+                state.add_edge(edge.src, edge.src_conn, producer_exit, edge.dst_conn, edge.data)
+        for edge in list(state.out_edges(consumer_exit)):
+            state.remove_edge(edge)
+            if edge.src_conn:
+                producer_exit.add_out_connector(edge.src_conn)
+                state.add_edge(producer_exit, edge.src_conn, edge.dst, edge.dst_conn, edge.data)
+
+        # Remove the intermediate access node and the now-empty second scope.
+        for edge in list(state.in_edges(intermediate)) + list(state.out_edges(intermediate)):
+            state.remove_edge(edge)
+        state.remove_node(intermediate)
+        state.remove_node(consumer_entry)
+        state.remove_node(consumer_exit)
+
+        # If the intermediate is not used anywhere else, it is dead memory.
+        still_used = any(
+            node.data == intermediate.data
+            for other_state in sdfg.states()
+            for node in other_state.data_nodes()
+        )
+        if not still_used:
+            sdfg.remove_data(intermediate.data, validate=False)
+
+        from ..sdfg.propagation import propagate_memlets_state
+
+        propagate_memlets_state(sdfg, state)
+
+
+def _rename_identifier(code: str, old: str, new: str) -> str:
+    import re
+
+    return re.sub(rf"\b{re.escape(old)}\b", new, code)

@@ -1,0 +1,70 @@
+"""Memlet consolidation (§6.2).
+
+After converting MLIR dialects and propagating data dependencies, a scope
+may end up with multiple memlets referring to overlapping regions of the
+same container (a stencil reading ``A[i]`` and ``A[i+1]`` generates two
+edges).  This pass unions edges between the same pair of nodes that refer
+to the same container — a "data movement common denominator" — and merges
+duplicate read access nodes of the same container within a state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..sdfg import SDFG, AccessNode, Memlet
+from .pipeline import DataCentricPass
+
+
+class MemletConsolidation(DataCentricPass):
+    """Union overlapping memlets and merge duplicate read nodes."""
+
+    NAME = "memlet-consolidation"
+
+    def apply(self, sdfg: SDFG) -> bool:
+        changed = False
+        for state in sdfg.states():
+            if self._merge_duplicate_reads(state):
+                changed = True
+            if self._union_parallel_edges(state):
+                changed = True
+        return changed
+
+    def _merge_duplicate_reads(self, state) -> bool:
+        """Merge access nodes of the same container that are pure sources."""
+        changed = False
+        sources: Dict[str, AccessNode] = {}
+        for node in list(state.data_nodes()):
+            if node not in state or state.in_degree(node) != 0:
+                continue
+            existing = sources.get(node.data)
+            if existing is None:
+                sources[node.data] = node
+                continue
+            for edge in list(state.out_edges(node)):
+                state.add_edge(existing, edge.src_conn, edge.dst, edge.dst_conn, edge.data)
+                state.remove_edge(edge)
+            state.remove_node(node)
+            changed = True
+        return changed
+
+    def _union_parallel_edges(self, state) -> bool:
+        """Union parallel edges between the same nodes/connectors/container."""
+        changed = False
+        groups: Dict[Tuple, List] = {}
+        for edge in state.edges():
+            if edge.data.is_empty or edge.data.wcr is not None:
+                continue
+            key = (edge.src, edge.src_conn, edge.dst, edge.dst_conn, edge.data.data)
+            groups.setdefault(key, []).append(edge)
+        for key, edges in groups.items():
+            if len(edges) < 2:
+                continue
+            merged: Memlet = edges[0].data
+            for other in edges[1:]:
+                merged = merged.union(other.data)
+            edges[0].data = merged
+            for other in edges[1:]:
+                state.remove_edge(other)
+            changed = True
+        return changed

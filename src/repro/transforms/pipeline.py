@@ -1,0 +1,150 @@
+"""Data-centric pass infrastructure and the standard DCIR pipelines.
+
+Mirrors DaCe's pass pipeline: each pass transforms an SDFG in place and
+reports whether it changed anything; pipelines run passes in order and
+optionally repeat until a fixed point.  Three standard pipelines are
+provided, matching the paper:
+
+* :func:`simplification_pipeline` — the idempotent ``-O1``-equivalent
+  simplification (§6.1/§6.2): inference, state fusion, dead state / dead
+  dataflow elimination, array elimination, memlet consolidation.
+* :func:`memory_scheduling_pipeline` — the ``-O2``-equivalent memory
+  scheduling optimizations (§6.3): memory (pre-)allocation and
+  memory-reducing loop fusion.
+* :func:`data_centric_pipeline` — both, in order (what DCIR runs after
+  translation).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..sdfg import SDFG
+
+
+class DataCentricPass:
+    """Base class for SDFG-level passes."""
+
+    NAME: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.NAME or type(self).__name__
+
+    def apply(self, sdfg: SDFG) -> bool:
+        """Transform ``sdfg`` in place; return True if anything changed."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DataCentricPass {self.name}>"
+
+
+@dataclass
+class PassRecord:
+    name: str
+    changed: bool
+    seconds: float
+
+
+@dataclass
+class PipelineReport:
+    records: List[PassRecord] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(record.seconds for record in self.records)
+
+    @property
+    def changed(self) -> bool:
+        return any(record.changed for record in self.records)
+
+    def applied_passes(self) -> List[str]:
+        return [record.name for record in self.records if record.changed]
+
+    def summary(self) -> str:
+        lines = [
+            f"{record.name:<34} changed={record.changed} {record.seconds * 1e3:8.2f} ms"
+            for record in self.records
+        ]
+        lines.append(f"{'total':<34} {'':13} {self.total_seconds * 1e3:8.2f} ms")
+        return "\n".join(lines)
+
+
+class DataCentricPipeline:
+    """Runs a sequence of data-centric passes, optionally to a fixed point."""
+
+    def __init__(self, passes: Sequence[DataCentricPass], max_iterations: int = 4,
+                 validate: bool = False):
+        self.passes = list(passes)
+        self.max_iterations = max(1, max_iterations)
+        self.validate = validate
+
+    def apply(self, sdfg: SDFG) -> PipelineReport:
+        report = PipelineReport()
+        for _ in range(self.max_iterations):
+            iteration_changed = False
+            for pass_obj in self.passes:
+                start = time.perf_counter()
+                changed = bool(pass_obj.apply(sdfg))
+                elapsed = time.perf_counter() - start
+                report.records.append(PassRecord(pass_obj.name, changed, elapsed))
+                iteration_changed = iteration_changed or changed
+                if self.validate:
+                    sdfg.validate()
+            if not iteration_changed:
+                break
+        return report
+
+
+def simplification_pipeline(max_iterations: int = 4) -> DataCentricPipeline:
+    """Inference + data-movement reduction (§6.1 and §6.2, the -O1 set)."""
+    from .array_elimination import ArrayElimination
+    from .dead_code import (
+        DeadDataflowElimination,
+        DeadStateElimination,
+        RedundantIterationElimination,
+    )
+    from .memlet_consolidation import MemletConsolidation
+    from .state_fusion import StateFusion
+    from .symbol_passes import ScalarToSymbolPromotion, SymbolPropagation
+    from .wcr_detection import AugAssignToWCR
+
+    return DataCentricPipeline(
+        [
+            ScalarToSymbolPromotion(),
+            SymbolPropagation(),
+            StateFusion(),
+            AugAssignToWCR(),
+            DeadStateElimination(),
+            DeadDataflowElimination(),
+            RedundantIterationElimination(),
+            ArrayElimination(),
+            MemletConsolidation(),
+        ],
+        max_iterations=max_iterations,
+    )
+
+
+def memory_scheduling_pipeline() -> DataCentricPipeline:
+    """Memory scheduling optimizations (§6.3, the -O2 set)."""
+    from .map_transforms import LoopToMap, MapFusion
+    from .memory_allocation import MemoryPreAllocation, StackPromotion
+
+    return DataCentricPipeline(
+        [
+            StackPromotion(),
+            MemoryPreAllocation(),
+            LoopToMap(),
+            MapFusion(),
+        ],
+        max_iterations=2,
+    )
+
+
+def data_centric_pipeline() -> DataCentricPipeline:
+    """The full data-centric half of DCIR: simplify (-O1) then schedule (-O2)."""
+    simplify = simplification_pipeline()
+    schedule = memory_scheduling_pipeline()
+    return DataCentricPipeline(simplify.passes + schedule.passes, max_iterations=3)

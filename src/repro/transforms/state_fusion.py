@@ -1,0 +1,107 @@
+"""State fusion: enlarging pure dataflow regions (§6.1, "SDFG Simplification").
+
+Fuses a state into its unique predecessor when the connecting transition is
+unconditional and carries no symbol assignments.  Data dependencies between
+the two states are preserved by merging access nodes (read-after-write) and
+adding explicit ordering edges (write-after-read / write-after-write), so
+the fused state remains a correct acyclic dataflow graph without
+introducing data races.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sdfg import SDFG, AccessNode, Memlet, SDFGState
+from .pipeline import DataCentricPass
+
+
+class StateFusion(DataCentricPass):
+    """Repeatedly fuse linear, unconditional state pairs."""
+
+    NAME = "state-fusion"
+
+    def apply(self, sdfg: SDFG) -> bool:
+        changed = False
+        while self._fuse_once(sdfg):
+            changed = True
+        return changed
+
+    def _fuse_once(self, sdfg: SDFG) -> bool:
+        for first in sdfg.states():
+            out_edges = sdfg.out_edges(first)
+            if len(out_edges) != 1:
+                continue
+            edge = out_edges[0]
+            second = edge.dst
+            if second is first:
+                continue
+            if len(sdfg.in_edges(second)) != 1:
+                continue
+            if not edge.data.is_unconditional or edge.data.assignments:
+                continue
+            if second is sdfg.start_state:
+                continue
+            self._fuse(sdfg, first, second, edge)
+            return True
+        return False
+
+    def _fuse(self, sdfg: SDFG, first: SDFGState, second: SDFGState, edge) -> None:
+        # Last access node per container in the first state (for merging).
+        last_in_first: Dict[str, AccessNode] = {}
+        first_nodes_of = {}
+        for node in first.topological_nodes():
+            if isinstance(node, AccessNode):
+                last_in_first[node.data] = node
+
+        # Move nodes of the second state into the first.
+        node_order = second.topological_nodes()
+        first_read_node_in_second: Dict[str, AccessNode] = {}
+        for node in node_order:
+            if isinstance(node, AccessNode) and node.data not in first_read_node_in_second:
+                first_read_node_in_second[node.data] = node
+
+        for node in node_order:
+            first.add_node(node)
+        for dataflow_edge in second.edges():
+            first.add_edge(
+                dataflow_edge.src,
+                dataflow_edge.src_conn,
+                dataflow_edge.dst,
+                dataflow_edge.dst_conn,
+                dataflow_edge.data,
+            )
+
+        # Merge: the *first* access node of container X in the second state
+        # becomes the last node of X in the first state (RAW dependency),
+        # provided it only reads (no incoming writes) — otherwise keep it
+        # separate but add an ordering edge (WAR/WAW).
+        for data, second_node in first_read_node_in_second.items():
+            if data not in last_in_first:
+                continue
+            first_node = last_in_first[data]
+            if first_node is second_node or first_node not in first:
+                continue
+            incoming = first.in_edges(second_node)
+            if not incoming:
+                # Pure read in the second state: redirect its outgoing edges
+                # to the first state's node and drop the duplicate.
+                for out_edge in list(first.out_edges(second_node)):
+                    first.add_edge(
+                        first_node, out_edge.src_conn, out_edge.dst, out_edge.dst_conn,
+                        out_edge.data,
+                    )
+                    first.remove_edge(out_edge)
+                first.remove_node(second_node)
+            else:
+                # The second state writes the container: order it after the
+                # first state's accesses with an explicit dependency edge.
+                if not first.edges_between(first_node, second_node):
+                    first.add_nedge(first_node, second_node, Memlet.empty())
+
+        # Rewire the state machine.
+        sdfg.remove_edge(edge)
+        for out_edge in list(sdfg.out_edges(second)):
+            sdfg.remove_edge(out_edge)
+            sdfg.add_edge(first, out_edge.dst, out_edge.data)
+        sdfg.remove_state(second)

@@ -1,0 +1,165 @@
+"""Symbolic inference passes (§6.1): scalar-to-symbol promotion and symbol
+propagation.
+
+* :class:`ScalarToSymbolPromotion` elevates scalar containers into symbols
+  when they are written exactly once with a symbolically representable
+  value and are otherwise only read by state-transition edges (loop bounds,
+  branch conditions).  This exposes index expressions, loop bounds and
+  data-dependent sizes to the symbolic engine.
+* :class:`SymbolPropagation` works like constant propagation on symbols:
+  symbols assigned exactly once to a constant (or to an expression over
+  already-propagated symbols) are substituted everywhere and the dead
+  assignment is removed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Set
+
+from ..symbolic import Expr, Integer, SymbolicError, parse_expr
+from ..sdfg import SDFG, AccessNode, Scalar, SDFGState, Tasklet
+from ..sdfg.analysis import symbols_assigned_once
+from .pipeline import DataCentricPass
+
+_ASSIGNMENT_RE = re.compile(r"^\s*_out\s*=\s*(?P<expr>.+)\s*$")
+
+
+class ScalarToSymbolPromotion(DataCentricPass):
+    """Promote write-once, symbolically-defined scalars to SDFG symbols."""
+
+    NAME = "scalar-to-symbol"
+
+    def apply(self, sdfg: SDFG) -> bool:
+        changed = False
+        for name in list(sdfg.arrays):
+            descriptor = sdfg.arrays.get(name)
+            if not isinstance(descriptor, Scalar) or not descriptor.transient:
+                continue
+            if descriptor.dtype not in ("int32", "int64", "bool", "int8"):
+                continue
+            promotion = self._find_promotion(sdfg, name)
+            if promotion is None:
+                continue
+            state, write_node, tasklet, expression = promotion
+            # Remove the defining tasklet and access node; assign the symbol
+            # on the state's outgoing edges instead.
+            for edge in list(state.in_edges(write_node)):
+                state.remove_edge(edge)
+            for edge in list(state.in_edges(tasklet)):
+                state.remove_edge(edge)
+            state.remove_node(write_node)
+            state.remove_node(tasklet)
+            for out_edge in sdfg.out_edges(state):
+                out_edge.data.assignments[name] = expression
+            if not sdfg.out_edges(state):
+                # Terminal state: the value is never observed afterwards.
+                pass
+            del sdfg.arrays[name]
+            sdfg.add_symbol(name)
+            changed = True
+        return changed
+
+    def _find_promotion(self, sdfg: SDFG, name: str):
+        """Return (state, access node, defining tasklet, expression) or None."""
+        write_state: Optional[SDFGState] = None
+        write_node: Optional[AccessNode] = None
+        defining: Optional[Tasklet] = None
+        expression: Optional[Expr] = None
+
+        for state in sdfg.states():
+            for node in state.data_nodes():
+                if node.data != name:
+                    continue
+                in_edges = state.in_edges(node)
+                out_edges = state.out_edges(node)
+                if out_edges:
+                    return None  # read through dataflow: would require code rewrites
+                if not in_edges:
+                    continue
+                if write_state is not None or len(in_edges) != 1:
+                    return None  # written more than once
+                edge = in_edges[0]
+                if not isinstance(edge.src, Tasklet) or state.in_degree(edge.src) != 0:
+                    return None
+                match = _ASSIGNMENT_RE.match(edge.src.code.strip())
+                if match is None:
+                    return None
+                try:
+                    parsed = parse_expr(match.group("expr"))
+                except SymbolicError:
+                    return None
+                referenced = {symbol.name for symbol in parsed.free_symbols()}
+                if referenced & set(sdfg.arrays):
+                    return None  # depends on containers, not symbols
+                write_state = state
+                write_node = node
+                defining = edge.src
+                expression = parsed
+
+        if write_state is None or expression is None:
+            return None
+        # The scalar must be read somewhere on interstate edges, otherwise
+        # promotion is pointless (dead dataflow elimination handles it).
+        read_on_edges = any(
+            name in edge.data.free_symbols() for edge in sdfg.edges()
+        )
+        if not read_on_edges:
+            return None
+        return write_state, write_node, defining, expression
+
+
+class SymbolPropagation(DataCentricPass):
+    """Forward-propagate symbols that are assigned exactly once."""
+
+    NAME = "symbol-propagation"
+
+    def apply(self, sdfg: SDFG) -> bool:
+        changed = False
+        for _ in range(8):
+            once = symbols_assigned_once(sdfg)
+            substitutions: Dict[str, Expr] = {}
+            for name, value in once.items():
+                if name in sdfg.arrays:
+                    continue
+                free = {symbol.name for symbol in value.free_symbols()}
+                if free & (set(once) | set(sdfg.arrays)):
+                    continue  # depends on other assigned names; next round
+                if name in free:
+                    continue
+                if value.is_constant():
+                    substitutions[name] = value
+            if not substitutions:
+                break
+            self._substitute(sdfg, substitutions)
+            changed = True
+        return changed
+
+    def _substitute(self, sdfg: SDFG, substitutions: Dict[str, Expr]) -> None:
+        # Interstate edges: conditions and (other) assignments.
+        for edge in sdfg.edges():
+            edge.data.condition = edge.data.condition.subs(substitutions)
+            new_assignments = {}
+            for name, value in edge.data.assignments.items():
+                if name in substitutions:
+                    continue  # the (single) assignment itself becomes redundant
+                new_assignments[name] = value.subs(substitutions)
+            edge.data.assignments = new_assignments
+        # Dataflow: memlet subsets and map ranges.
+        for state in sdfg.states():
+            for dataflow_edge in state.edges():
+                if not dataflow_edge.data.is_empty:
+                    dataflow_edge.data = dataflow_edge.data.subs(substitutions)
+            from ..sdfg.nodes import MapEntry
+
+            for node in state.nodes():
+                if isinstance(node, MapEntry):
+                    node.map.ranges = [rng.subs(substitutions) for rng in node.map.ranges]
+        # Container shapes.
+        for descriptor in sdfg.arrays.values():
+            descriptor.shape = tuple(dim.subs(substitutions) for dim in descriptor.shape)
+        # Record as constants for code generation and remove the symbol.
+        for name, value in substitutions.items():
+            if value.is_constant():
+                sdfg.add_constant(name, value.evaluate({}))
+            sdfg.symbols.pop(name, None)

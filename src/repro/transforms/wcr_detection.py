@@ -1,0 +1,95 @@
+"""Update detection: ``AugAssignToWCR`` (§6.1).
+
+SDFGs support a third data-movement mode besides read and write: *update*.
+Differentiating updates from plain writes enables automatic
+parallelization, better reduction schedules and wait-free communication.
+This pass traces symbolic expressions around tasklets: when a tasklet reads
+``A[s]``, combines it with another value using an associative binary
+operator, and writes the result back to ``A[s]`` (same subset), the read
+edge is removed and the write memlet becomes an update with the
+corresponding write-conflict-resolution (WCR) function.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Tuple
+
+from ..sdfg import SDFG, AccessNode, Tasklet
+from .pipeline import DataCentricPass
+
+#: Associative operators eligible for WCR conversion.
+_WCR_PATTERNS = {
+    "+": re.compile(r"^\s*_out\s*=\s*\((?P<a>\w+)\s*\+\s*(?P<b>\w+)\)\s*$"),
+    "*": re.compile(r"^\s*_out\s*=\s*\((?P<a>\w+)\s*\*\s*(?P<b>\w+)\)\s*$"),
+}
+
+
+class AugAssignToWCR(DataCentricPass):
+    """Convert read-modify-write patterns into WCR (update) memlets."""
+
+    NAME = "augassign-to-wcr"
+
+    def apply(self, sdfg: SDFG) -> bool:
+        changed = False
+        for state in sdfg.states():
+            for tasklet in list(state.tasklets()):
+                if tasklet not in state:
+                    continue
+                if self._try_convert(sdfg, state, tasklet):
+                    changed = True
+        return changed
+
+    def _try_convert(self, sdfg: SDFG, state, tasklet: Tasklet) -> bool:
+        match_info = self._match_code(tasklet.code)
+        if match_info is None:
+            return False
+        operator, operand_a, operand_b = match_info
+
+        out_edges = [edge for edge in state.out_edges(tasklet) if not edge.data.is_empty]
+        if len(out_edges) != 1:
+            return False
+        write_edge = out_edges[0]
+        if not isinstance(write_edge.dst, AccessNode) or write_edge.data.wcr is not None:
+            return False
+        target = write_edge.data.data
+        target_subset = write_edge.data.subset
+
+        # Find the input edge reading the same container at the same subset.
+        read_edge = None
+        read_connector = None
+        for edge in state.in_edges(tasklet):
+            if edge.data.is_empty or edge.data.data != target:
+                continue
+            if edge.dst_conn not in (operand_a, operand_b):
+                continue
+            if (edge.data.subset is None) != (target_subset is None):
+                continue
+            if edge.data.subset is not None and edge.data.subset != target_subset:
+                continue
+            read_edge = edge
+            read_connector = edge.dst_conn
+            break
+        if read_edge is None:
+            return False
+
+        other_connector = operand_b if read_connector == operand_a else operand_a
+        # Rewrite the tasklet: it now only forwards the other operand.
+        tasklet.code = f"_out = {other_connector}"
+        tasklet.in_connectors.discard(read_connector)
+        state.remove_edge(read_edge)
+        # The read-side access node may now be dangling.
+        source = read_edge.src
+        if isinstance(source, AccessNode) and state.out_degree(source) == 0 \
+                and state.in_degree(source) == 0:
+            state.remove_node(source)
+        write_edge.data.wcr = operator
+        return True
+
+    @staticmethod
+    def _match_code(code: str) -> Optional[Tuple[str, str, str]]:
+        for operator, pattern in _WCR_PATTERNS.items():
+            match = pattern.match(code.strip())
+            if match:
+                return operator, match.group("a"), match.group("b")
+        return None

@@ -1,0 +1,29 @@
+"""Workloads used by the evaluation: Polybench kernels and case studies."""
+
+from . import casestudies, mish, polybench
+from .casestudies import (
+    bandwidth_source,
+    fig2_source,
+    milc_source,
+    syrk_source,
+)
+from .mish import mish_source, reference_checksum, run_eager, run_jit
+from .polybench import EXCLUDED, KERNELS, get_kernel, kernel_names
+
+__all__ = [
+    "EXCLUDED",
+    "KERNELS",
+    "bandwidth_source",
+    "casestudies",
+    "fig2_source",
+    "get_kernel",
+    "kernel_names",
+    "milc_source",
+    "mish",
+    "mish_source",
+    "polybench",
+    "reference_checksum",
+    "run_eager",
+    "run_jit",
+    "syrk_source",
+]

@@ -1,0 +1,155 @@
+"""Case-study workloads from the paper: Fig. 2, MILC (Fig. 9), bandwidth (Fig. 10).
+
+Each workload is a C source template with ``@SIZE@``-style parameters and a
+default size chosen so that the slowest pipeline finishes in well under a
+second on the Python substrate.  The access patterns follow the paper's
+snippets; surrounding scaffolding (allocation, initialization, checksum) is
+added so the programs are self-contained and cross-checkable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Fig. 2 — the motivating example: dead arrays, redundant outer loop.
+FIG2_EXAMPLE = """
+int example() {
+  int *A = (int*) malloc(@N@ * sizeof(int));
+  int *B = (int*) malloc(@N@ * sizeof(int));
+  for (int i = 0; i < @N@; ++i) {
+    A[i] = 5;
+    for (int j = 0; j < @N@; ++j)
+      B[j] = A[i];
+    for (int j = 0; j < @M@; ++j)
+      A[j] = A[i];
+  }
+  int res = B[0];
+  free(A);
+  free(B);
+  return res;
+}
+"""
+
+FIG2_DEFAULT_SIZES = {"N": 700, "M": 70}
+
+#: Fig. 9 — MILC multi-mass conjugate gradient snippet.  zeta_ip1 and
+#: beta_i are written but never observed by the returned residual, so the
+#: data-centric pipelines can eliminate both arrays (the paper reports two
+#: arrays of 10,000 doubles eliminated).
+MILC_SNIPPET = """
+double congrad_multi_field() {
+  double zeta_i[@NORDER@];
+  double zeta_im1[@NORDER@];
+  double zeta_ip1[@NORDER@];
+  double beta_i[@NORDER@];
+  double beta_im1[@NORDER@];
+  double alpha[@NORDER@];
+  double shift[@NORDER@];
+  int converged[@NORDER@];
+  for (int j = 0; j < @NORDER@; j++) {
+    zeta_i[j] = 1.0 + (j % 7) * 0.125;
+    zeta_im1[j] = 1.0;
+    zeta_ip1[j] = 0.0;
+    beta_i[j] = -0.5;
+    beta_im1[j] = 1.0;
+    alpha[j] = 0.25;
+    shift[j] = 0.01 * j;
+    converged[j] = (j % 5 == 0) ? 1 : 0;
+  }
+  for (int iter = 0; iter < @ITERS@; iter++) {
+    for (int j = 1; j < @NORDER@; j++) {
+      if (converged[j] == 0) {
+        zeta_ip1[j] = zeta_i[j] * zeta_im1[j] * beta_im1[0];
+        double c1 = beta_i[0] * alpha[0] * (zeta_im1[j] - zeta_i[j]);
+        double c2 = zeta_im1[j] * beta_im1[0] * (1.0 - (shift[j] - shift[0]) * beta_i[0]);
+        zeta_ip1[j] /= c1 + c2;
+        beta_i[j] = beta_i[0] * zeta_ip1[j] / zeta_i[j];
+      }
+    }
+  }
+  double residual = 0.0;
+  for (int j = 0; j < @NORDER@; j++)
+    residual += zeta_i[j] + zeta_im1[j] + alpha[j];
+  return residual;
+}
+"""
+
+MILC_DEFAULT_SIZES = {"NORDER": 2000, "ITERS": 4}
+
+#: Fig. 10 — memory bandwidth benchmark (init / sum / scale with a
+#: save/restore of a[10] between phases).
+BANDWIDTH_BENCHMARK = """
+double bandwidth() {
+  double a[@N@];
+  double scalar = 3.0;
+  double total = 0.0;
+  for (int k = 0; k < @NTIMES@; k++) {
+    for (int i = 0; i < @N@; i++)
+      a[i] = scalar;
+    double tmp = a[10];
+    double sum = 0.0;
+    for (int i = 0; i < @N@; i++)
+      sum += a[i];
+    a[10] = sum;
+    a[10] = tmp;
+    for (int i = 0; i < @N@; i++)
+      a[i] = a[i] * scalar;
+    total += a[10] + sum;
+  }
+  return total;
+}
+"""
+
+BANDWIDTH_DEFAULT_SIZES = {"N": 800, "NTIMES": 4}
+
+#: Fig. 7 — the syrk inner kernel in isolation (used to show that LICM on
+#: the MLIR side hoists ``alpha * A[i][k]`` while the DaCe C frontend view
+#: cannot look inside its indivisible tasklets).
+SYRK_SNIPPET = """
+double syrk_kernel() {
+  double A[@N@][@M@];
+  double C[@N@][@N@];
+  double alpha = 1.5;
+  for (int i = 0; i < @N@; i++)
+    for (int k = 0; k < @M@; k++)
+      A[i][k] = ((i * k + 1) % @N@) / (1.0 * @N@);
+  for (int i = 0; i < @N@; i++)
+    for (int j = 0; j < @N@; j++)
+      C[i][j] = 0.0;
+  for (int i = 0; i < @N@; i++)
+    for (int k = 0; k < @M@; k++)
+      for (int j = 0; j <= i; j++)
+        C[i][j] += alpha * A[i][k] * A[j][k];
+  double sum = 0.0;
+  for (int i = 0; i < @N@; i++)
+    for (int j = 0; j < @N@; j++)
+      sum += C[i][j];
+  return sum;
+}
+"""
+
+SYRK_DEFAULT_SIZES = {"N": 30, "M": 26}
+
+
+def instantiate(template: str, sizes: Dict[str, int]) -> str:
+    """Substitute ``@NAME@`` parameters in a workload template."""
+    source = template
+    for key, value in sizes.items():
+        source = source.replace(f"@{key}@", str(value))
+    return source
+
+
+def fig2_source(sizes: Dict[str, int] | None = None) -> str:
+    return instantiate(FIG2_EXAMPLE, {**FIG2_DEFAULT_SIZES, **(sizes or {})})
+
+
+def milc_source(sizes: Dict[str, int] | None = None) -> str:
+    return instantiate(MILC_SNIPPET, {**MILC_DEFAULT_SIZES, **(sizes or {})})
+
+
+def bandwidth_source(sizes: Dict[str, int] | None = None) -> str:
+    return instantiate(BANDWIDTH_BENCHMARK, {**BANDWIDTH_DEFAULT_SIZES, **(sizes or {})})
+
+
+def syrk_source(sizes: Dict[str, int] | None = None) -> str:
+    return instantiate(SYRK_SNIPPET, {**SYRK_DEFAULT_SIZES, **(sizes or {})})

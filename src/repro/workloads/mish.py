@@ -1,0 +1,113 @@
+"""The Mish activation case study (Fig. 8 of the paper).
+
+The paper compiles ``x = torch.log(1 + torch.exp(x))`` through PyTorch
+(eager), ``torch.jit``, Torch-MLIR and DCIR (optionally with ICC's
+vectorized math).  PyTorch and Torch-MLIR are not available here, so this
+module provides:
+
+* a tiny *eager tensor-expression* evaluator that executes the expression
+  the way an eager framework does — one loop and one freshly allocated
+  temporary tensor per operator (``exp``, ``1 +``, ``log``) — modelling
+  PyTorch;
+* a fused-loop variant with temporaries (modelling ``torch.jit``'s operator
+  fusion that still materializes tensors);
+* a C version of the element-wise expression that goes through the regular
+  compilation pipelines (``mlir`` models Torch-MLIR's lowering with its
+  intermediate allocations; ``dcir`` removes the allocations; ``dcir+vec``
+  models ICC/SLEEF vectorized math).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+#: Element-wise Mish (softplus) over a 1-D tensor, written in C.  The two
+#: intermediate arrays correspond to the intermediate tensors Torch-MLIR
+#: materializes; the outer loop models running the operator repeatedly.
+MISH_C_SOURCE = """
+double mish() {
+  double x[@N@];
+  double t0[@N@];
+  double t1[@N@];
+  double out[@N@];
+  for (int i = 0; i < @N@; i++)
+    x[i] = (i % 17) * 0.25 - 2.0;
+  for (int r = 0; r < @REPS@; r++) {
+    for (int i = 0; i < @N@; i++)
+      t0[i] = exp(x[i]);
+    for (int i = 0; i < @N@; i++)
+      t1[i] = 1.0 + t0[i];
+    for (int i = 0; i < @N@; i++)
+      out[i] = log(t1[i]);
+  }
+  double sum = 0.0;
+  for (int i = 0; i < @N@; i++)
+    sum += out[i];
+  return sum;
+}
+"""
+
+MISH_DEFAULT_SIZES = {"N": 2000, "REPS": 3}
+
+
+def mish_source(sizes: Dict[str, int] | None = None) -> str:
+    source = MISH_C_SOURCE
+    for key, value in {**MISH_DEFAULT_SIZES, **(sizes or {})}.items():
+        source = source.replace(f"@{key}@", str(value))
+    return source
+
+
+def _input_tensor(n: int) -> np.ndarray:
+    return np.array([(i % 17) * 0.25 - 2.0 for i in range(n)], dtype=np.float64)
+
+
+@dataclass
+class MishResult:
+    name: str
+    seconds: float
+    checksum: float
+    allocations: int
+
+
+def run_eager(n: int, reps: int) -> MishResult:
+    """Eager framework model: one loop + one fresh temporary per operator."""
+    x = _input_tensor(n)
+    allocations = 0
+    start = time.perf_counter()
+    out = np.empty(n)
+    for _ in range(reps):
+        t0 = np.empty(n); allocations += 1
+        for i in range(n):
+            t0[i] = math.exp(x[i])
+        t1 = np.empty(n); allocations += 1
+        for i in range(n):
+            t1[i] = 1.0 + t0[i]
+        out = np.empty(n); allocations += 1
+        for i in range(n):
+            out[i] = math.log(t1[i])
+    elapsed = time.perf_counter() - start
+    return MishResult("pytorch-eager", elapsed, float(out.sum()), allocations)
+
+
+def run_jit(n: int, reps: int) -> MishResult:
+    """torch.jit model: operators fused into one loop, output still allocated."""
+    x = _input_tensor(n)
+    allocations = 0
+    start = time.perf_counter()
+    out = np.empty(n)
+    for _ in range(reps):
+        out = np.empty(n); allocations += 1
+        for i in range(n):
+            out[i] = math.log(1.0 + math.exp(x[i]))
+    elapsed = time.perf_counter() - start
+    return MishResult("pytorch-jit", elapsed, float(out.sum()), allocations)
+
+
+def reference_checksum(n: int) -> float:
+    x = _input_tensor(n)
+    return float(np.log1p(np.exp(x)).sum())

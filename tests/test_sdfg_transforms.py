@@ -1,0 +1,314 @@
+"""Tests for the SDFG IR and the data-centric transformation passes."""
+
+import pytest
+
+from repro.sdfg import (
+    SDFG,
+    AccessNode,
+    InterstateEdge,
+    InvalidSDFGError,
+    Memlet,
+    Scalar,
+    Tasklet,
+    live_containers_per_state,
+    propagate_memlets_sdfg,
+    reachable_states,
+    symbols_assigned_once,
+)
+from repro.symbolic import FALSE, Integer, Range, Subset, Symbol, parse_expr
+from repro.transforms import (
+    ArrayElimination,
+    AugAssignToWCR,
+    DeadDataflowElimination,
+    DeadStateElimination,
+    LoopToMap,
+    MapFusion,
+    MemoryPreAllocation,
+    RedundantIterationElimination,
+    StackPromotion,
+    StateFusion,
+    SymbolPropagation,
+    find_loops,
+    simplify_sdfg,
+)
+
+
+def _vector_scale_sdfg(n="N"):
+    """A[i] -> B[i] * 2 map, used by several tests."""
+    sdfg = SDFG("scale")
+    sdfg.add_symbol("N")
+    sdfg.add_array("A", [n], "float64")
+    sdfg.add_array("B", [n], "float64")
+    state = sdfg.add_state("compute", is_start_state=True)
+    state.add_mapped_tasklet(
+        "scale",
+        {"i": Range(0, n)},
+        {"_a": Memlet.simple("A", "i")},
+        "_b = _a * 2.0",
+        {"_b": Memlet.simple("B", "i")},
+    )
+    return sdfg
+
+
+def _loop_sdfg():
+    """State-machine loop writing A[i] = i for i in [0, N)."""
+    sdfg = SDFG("loop")
+    sdfg.add_symbol("N")
+    sdfg.add_array("A", ["N"], "float64")
+    init = sdfg.add_state("init", is_start_state=True)
+    guard = sdfg.add_state("guard")
+    body = sdfg.add_state("body")
+    exit_state = sdfg.add_state("exit")
+    sdfg.add_edge(init, guard, InterstateEdge(assignments={"i": 0}))
+    sdfg.add_edge(guard, body, InterstateEdge(condition="i < N"))
+    sdfg.add_edge(body, guard, InterstateEdge(assignments={"i": "i + 1"}))
+    sdfg.add_edge(guard, exit_state, InterstateEdge(condition="not (i < N)"))
+    tasklet = body.add_tasklet("write", [], ["_out"], "_out = i")
+    write = body.add_access("A")
+    body.add_edge(tasklet, "_out", write, None, Memlet.simple("A", "i"))
+    return sdfg
+
+
+class TestSDFGCore:
+    def test_validation_passes(self):
+        _vector_scale_sdfg().validate()
+
+    def test_unknown_container_rejected(self):
+        sdfg = SDFG("bad")
+        state = sdfg.add_state("s", is_start_state=True)
+        state.add_access("missing")
+        with pytest.raises(InvalidSDFGError):
+            sdfg.validate()
+
+    def test_out_of_bounds_memlet_rejected(self):
+        sdfg = SDFG("oob")
+        sdfg.add_array("A", [4], "float64")
+        sdfg.add_scalar("s", "float64")
+        state = sdfg.add_state("s0", is_start_state=True)
+        tasklet = state.add_tasklet("t", ["_a"], [], "pass")
+        state.add_edge(state.add_access("A"), None, tasklet, "_a", Memlet.simple("A", "7"))
+        with pytest.raises(InvalidSDFGError):
+            sdfg.validate()
+
+    def test_unconnected_connector_rejected(self):
+        sdfg = SDFG("conn")
+        sdfg.add_array("A", [4], "float64")
+        state = sdfg.add_state("s0", is_start_state=True)
+        state.add_tasklet("t", ["_a"], [], "pass")
+        with pytest.raises(InvalidSDFGError):
+            sdfg.validate()
+
+    def test_duplicate_container_rejected(self):
+        sdfg = SDFG("dup")
+        sdfg.add_array("A", [4], "float64")
+        with pytest.raises(InvalidSDFGError):
+            sdfg.add_array("A", [4], "float64")
+
+    def test_read_write_sets(self):
+        sdfg = _vector_scale_sdfg()
+        state = sdfg.states()[0]
+        assert state.read_set() == {"A"}
+        assert state.write_set() == {"B"}
+
+    def test_memlet_propagation_through_map(self):
+        sdfg = _vector_scale_sdfg()
+        propagate_memlets_sdfg(sdfg)
+        state = sdfg.states()[0]
+        outer_reads = [
+            e.data for e in state.edges()
+            if isinstance(e.src, AccessNode) and e.src.data == "A"
+        ]
+        assert str(outer_reads[0].subset) == "0:N"
+        assert outer_reads[0].volume == Symbol("N")
+
+    def test_free_symbols(self):
+        sdfg = _vector_scale_sdfg()
+        assert sdfg.free_symbols() == {"N"}
+
+    def test_loop_detection(self):
+        sdfg = _loop_sdfg()
+        loops = find_loops(sdfg)
+        assert len(loops) == 1
+        assert loops[0].induction_symbol == "i"
+        assert str(loops[0].trip_count()) == "N"
+
+    def test_reachability_and_liveness(self):
+        sdfg = _loop_sdfg()
+        assert len(reachable_states(sdfg)) == 4
+        live = live_containers_per_state(sdfg)
+        assert any("A" in names for names in live.values())
+
+    def test_symbols_assigned_once(self):
+        sdfg = _loop_sdfg()
+        once = symbols_assigned_once(sdfg)
+        assert "i" not in once  # assigned twice (init + increment)
+
+    def test_arglist_excludes_transients(self):
+        sdfg = _vector_scale_sdfg()
+        sdfg.add_transient("tmp", ["N"], "float64")
+        assert "A" in sdfg.arglist() and not any(k.startswith("tmp") for k in sdfg.arglist())
+
+
+class TestTransforms:
+    def test_state_fusion_merges_linear_states(self):
+        sdfg = SDFG("fuse")
+        sdfg.add_array("A", [4], "float64")
+        sdfg.add_scalar("s", "float64")
+        first = sdfg.add_state("first", is_start_state=True)
+        second = sdfg.add_state("second")
+        sdfg.add_edge(first, second, InterstateEdge())
+        t1 = first.add_tasklet("t1", [], ["_out"], "_out = 1.0")
+        first.add_edge(t1, "_out", first.add_access("s"), None, Memlet(data="s"))
+        t2 = second.add_tasklet("t2", ["_in"], ["_out"], "_out = _in + 1.0")
+        second.add_edge(second.add_access("s"), None, t2, "_in", Memlet(data="s"))
+        second.add_edge(t2, "_out", second.add_access("A"), None, Memlet.simple("A", "0"))
+        assert StateFusion().apply(sdfg)
+        assert len(sdfg.states()) == 1
+        sdfg.validate()
+
+    def test_state_fusion_respects_conditions(self):
+        sdfg = SDFG("nofuse")
+        first = sdfg.add_state("first", is_start_state=True)
+        second = sdfg.add_state("second")
+        sdfg.add_edge(first, second, InterstateEdge(condition="N > 1"))
+        assert not StateFusion().apply(sdfg)
+
+    def test_dead_state_elimination(self):
+        sdfg = SDFG("dse")
+        start = sdfg.add_state("start", is_start_state=True)
+        dead = sdfg.add_state("dead")
+        sdfg.add_edge(start, dead, InterstateEdge(condition=FALSE))
+        assert DeadStateElimination().apply(sdfg)
+        assert len(sdfg.states()) == 1
+
+    def test_dead_dataflow_elimination_removes_unobservable_writes(self):
+        sdfg = SDFG("dde")
+        sdfg.add_array("out", [4], "float64", transient=False)
+        sdfg.add_transient("dead", [4], "float64")
+        state = sdfg.add_state("s0", is_start_state=True)
+        t1 = state.add_tasklet("t1", [], ["_out"], "_out = 1.0")
+        state.add_edge(t1, "_out", state.add_access("dead"), None, Memlet.simple("dead", "0"))
+        t2 = state.add_tasklet("t2", [], ["_out"], "_out = 2.0")
+        state.add_edge(t2, "_out", state.add_access("out"), None, Memlet.simple("out", "0"))
+        assert DeadDataflowElimination().apply(sdfg)
+        assert ArrayElimination().apply(sdfg)
+        assert "dead" not in sdfg.arrays
+        assert "out" in sdfg.arrays
+
+    def test_dead_dataflow_keeps_feeding_chain(self):
+        sdfg = SDFG("chain")
+        sdfg.add_array("out", [1], "float64", transient=False)
+        sdfg.add_transient("mid", [1], "float64")
+        state = sdfg.add_state("s0", is_start_state=True)
+        t1 = state.add_tasklet("t1", [], ["_out"], "_out = 1.0")
+        mid = state.add_access("mid")
+        state.add_edge(t1, "_out", mid, None, Memlet.simple("mid", "0"))
+        t2 = state.add_tasklet("t2", ["_in"], ["_out"], "_out = _in + 1.0")
+        state.add_edge(mid, None, t2, "_in", Memlet.simple("mid", "0"))
+        state.add_edge(t2, "_out", state.add_access("out"), None, Memlet.simple("out", "0"))
+        DeadDataflowElimination().apply(sdfg)
+        assert "mid" in sdfg.arrays
+        assert len(state.tasklets()) == 2
+
+    def test_redundant_iteration_elimination(self):
+        sdfg = _loop_sdfg()
+        # Make the body independent of the induction symbol.
+        body = [s for s in sdfg.states() if s.label == "body"][0]
+        for edge in body.edges():
+            edge.data = Memlet.simple("A", "0")
+        for tasklet in body.tasklets():
+            tasklet.code = "_out = 5.0"
+        assert RedundantIterationElimination().apply(sdfg)
+        latch = [e for e in sdfg.edges() if e.src.label == "body" and e.dst.label == "guard"][0]
+        assert latch.data.assignments["i"] == Symbol("N")
+
+    def test_redundant_iteration_keeps_dependent_loops(self):
+        sdfg = _loop_sdfg()
+        assert not RedundantIterationElimination().apply(sdfg)
+
+    def test_symbol_propagation(self):
+        sdfg = SDFG("prop")
+        sdfg.add_array("A", ["K"], "float64")
+        first = sdfg.add_state("a", is_start_state=True)
+        second = sdfg.add_state("b")
+        sdfg.add_edge(first, second, InterstateEdge(assignments={"K": 8}))
+        sdfg.add_symbol("K")
+        assert SymbolPropagation().apply(sdfg)
+        assert sdfg.constants["K"] == 8
+        assert str(sdfg.arrays["A"].shape[0]) == "8"
+
+    def test_wcr_detection(self):
+        sdfg = SDFG("wcr")
+        sdfg.add_array("A", [8], "float64")
+        sdfg.add_scalar("v", "float64")
+        state = sdfg.add_state("s0", is_start_state=True)
+        tasklet = state.add_tasklet("acc", ["_in0", "_in1"], ["_out"], "_out = (_in0 + _in1)")
+        state.add_edge(state.add_access("A"), None, tasklet, "_in0", Memlet.simple("A", "3"))
+        state.add_edge(state.add_access("v"), None, tasklet, "_in1", Memlet(data="v"))
+        state.add_edge(tasklet, "_out", state.add_access("A"), None, Memlet.simple("A", "3"))
+        assert AugAssignToWCR().apply(sdfg)
+        writes = [e for e in state.edges() if isinstance(e.dst, AccessNode) and e.dst.data == "A"]
+        assert writes[0].data.wcr == "+"
+        assert tasklet.code == "_out = _in1"
+
+    def test_stack_promotion(self):
+        sdfg = SDFG("stack")
+        sdfg.add_transient("small", [16], "float64")
+        sdfg.add_transient("huge", [1024 * 1024], "float64")
+        StackPromotion(max_elements=1024).apply(sdfg)
+        small_name = [n for n in sdfg.arrays if n.startswith("small")][0]
+        huge_name = [n for n in sdfg.arrays if n.startswith("huge")][0]
+        assert sdfg.arrays[small_name].storage == "stack"
+        assert sdfg.arrays[huge_name].storage == "heap"
+
+    def test_memory_preallocation(self):
+        sdfg = SDFG("prealloc")
+        sdfg.add_transient("tmp", [64], "float64")
+        assert MemoryPreAllocation().apply(sdfg)
+        name = [n for n in sdfg.arrays if n.startswith("tmp")][0]
+        assert sdfg.arrays[name].lifetime == "persistent"
+
+    def test_loop_to_map(self):
+        sdfg = _loop_sdfg()
+        assert LoopToMap().apply(sdfg)
+        from repro.sdfg.nodes import MapEntry
+
+        entries = [n for s in sdfg.states() for n in s.nodes() if isinstance(n, MapEntry)]
+        assert len(entries) == 1
+        assert entries[0].map.params == ["i"]
+        sdfg.validate()
+
+    def test_map_fusion(self):
+        sdfg = SDFG("fusion")
+        sdfg.add_symbol("N")
+        sdfg.add_array("A", ["N"], "float64")
+        sdfg.add_transient("T", ["N"], "float64")
+        sdfg.add_array("B", ["N"], "float64")
+        state = sdfg.add_state("s0", is_start_state=True)
+        _, e1, x1 = state.add_mapped_tasklet(
+            "first", {"i": Range(0, "N")},
+            {"_a": Memlet.simple("A", "i")}, "_t = _a + 1.0", {"_t": Memlet.simple("T", "i")},
+        )
+        _, e2, x2 = state.add_mapped_tasklet(
+            "second", {"j": Range(0, "N")},
+            {"_t": Memlet.simple("T", "j")}, "_b = _t * 2.0", {"_b": Memlet.simple("B", "j")},
+        )
+        # Connect the two scopes through a single intermediate access node.
+        intermediates = [n for n in state.data_nodes() if n.data == "T"]
+        write_node = [n for n in intermediates if state.in_degree(n) > 0][0]
+        read_node = [n for n in intermediates if state.in_degree(n) == 0][0]
+        for edge in list(state.out_edges(read_node)):
+            state.add_edge(write_node, None, edge.dst, edge.dst_conn, edge.data)
+            state.remove_edge(edge)
+        state.remove_node(read_node)
+        assert MapFusion().apply(sdfg)
+        from repro.sdfg.nodes import MapEntry
+
+        entries = [n for n in state.nodes() if isinstance(n, MapEntry)]
+        assert len(entries) == 1
+
+    def test_simplify_pipeline_runs(self):
+        sdfg = _loop_sdfg()
+        report = simplify_sdfg(sdfg)
+        assert report.records
+        sdfg.validate()
