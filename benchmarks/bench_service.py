@@ -1,0 +1,69 @@
+"""Service-layer benchmarks: cache-warm sweeps and parallel batch compiles.
+
+Demonstrates the two scaling claims of the compilation service layer:
+
+1. compiling the full PolyBench suite twice through a :class:`Session`
+   makes the second (cache-warm) sweep at least 5× faster — in practice
+   orders of magnitude, since a warm compile is a single ``exec`` of the
+   cached generated code;
+2. on multi-core machines, ``compile_many`` over a process pool beats
+   sequential compilation of the same cold sweep (compilation is CPU-bound
+   pure Python, so the win requires real cores, not threads).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -v
+"""
+
+import os
+import time
+
+import pytest
+
+from bench_fig6_polybench import BENCH_SIZES
+from repro.service import CompileCache, CompileRequest, Session, compile_many
+from repro.workloads import polybench_suite
+
+
+def _suite():
+    return polybench_suite(sorted(BENCH_SIZES), sizes=BENCH_SIZES)
+
+
+def test_warm_polybench_sweep_is_5x_faster():
+    """Acceptance: second full-suite sweep ≥ 5× faster on compile time."""
+    session = Session(cache=CompileCache(max_entries=1024, use_env_directory=False))
+    suite = _suite()
+    cold = session.run_suite(suite, pipelines=("gcc", "dcir"))
+    warm = session.run_suite(suite, pipelines=("gcc", "dcir"))
+    assert cold.ok and warm.ok
+    assert warm.cache_hits == len(warm.entries)
+    speedup = cold.compile_seconds / max(warm.compile_seconds, 1e-9)
+    print(
+        f"\ncold sweep compile {cold.compile_seconds:.2f}s, "
+        f"warm {warm.compile_seconds:.4f}s → {speedup:.0f}x"
+    )
+    assert speedup >= 5.0
+    assert not warm.disagreements()
+
+
+def test_parallel_batch_beats_sequential_cold_sweep():
+    """Acceptance: pooled compile_many beats a sequential cold sweep."""
+    requests = [
+        CompileRequest(source=source, pipeline="dcir", name=name)
+        for name, source in _suite().items()
+    ]
+
+    start = time.perf_counter()
+    serial = compile_many(requests, executor="serial")
+    serial_seconds = time.perf_counter() - start
+    assert all(outcome.ok for outcome in serial)
+
+    start = time.perf_counter()
+    pooled = compile_many(requests, executor="process")
+    pooled_seconds = time.perf_counter() - start
+    assert all(outcome.ok for outcome in pooled)
+
+    print(f"\nserial {serial_seconds:.2f}s, process pool {pooled_seconds:.2f}s")
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("single-CPU machine: a process pool cannot beat sequential")
+    assert pooled_seconds < serial_seconds

@@ -14,7 +14,8 @@ import math
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional
 
-from repro import CompileResult, compile_c, run_compiled
+from repro import CompileResult, run_compiled
+from repro.service import CompileCache
 
 #: Pipelines compared in the paper's figures.
 FIGURE_PIPELINES = ["gcc", "clang", "dace", "mlir", "dcir"]
@@ -22,15 +23,15 @@ FIGURE_PIPELINES = ["gcc", "clang", "dace", "mlir", "dcir"]
 #: (figure, workload, pipeline) -> seconds, filled in by the bench modules.
 RESULTS: Dict[str, Dict[str, Dict[str, float]]] = defaultdict(lambda: defaultdict(dict))
 
-_COMPILE_CACHE: Dict[tuple, CompileResult] = {}
+#: Content-addressed compile cache shared by all bench modules.  Honors the
+#: ``REPRO_CACHE_DIR`` environment variable, so consecutive benchmark
+#: sessions rehydrate compiles from disk instead of re-running pipelines.
+COMPILE_CACHE = CompileCache(max_entries=1024)
 
 
 def compile_cached(source: str, pipeline: str) -> CompileResult:
     """Compile once per (source, pipeline); benchmarks measure run time only."""
-    key = (hash(source), pipeline)
-    if key not in _COMPILE_CACHE:
-        _COMPILE_CACHE[key] = compile_c(source, pipeline)
-    return _COMPILE_CACHE[key]
+    return COMPILE_CACHE.get_or_compile(source, pipeline)
 
 
 def time_pipeline(

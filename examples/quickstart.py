@@ -1,11 +1,19 @@
 """Quickstart: compile a C kernel through every pipeline and compare.
 
+Also demonstrates the service layer (:mod:`repro.service`): the
+content-addressed compile cache, parallel batch compilation with
+``compile_many``, and the ``Session`` suite runner.
+
 Run with::
 
     python examples/quickstart.py
 """
 
+import time
+
 from repro import PIPELINES, compile_c, run_compiled
+from repro.service import CompileCache, Session, compile_many
+from repro.workloads import polybench_suite
 
 SOURCE = """
 double saxpy() {
@@ -42,6 +50,43 @@ def main() -> None:
     print("Eliminated containers:", dcir.eliminated_containers)
     print("\nGenerated code (first 25 lines):")
     print("\n".join(dcir.code.splitlines()[:25]))
+
+    service_demo()
+
+
+def service_demo() -> None:
+    """The service layer: compile cache, batch compilation, suite runner."""
+    # Content-addressed cache: the second compile rehydrates the generated
+    # code instead of re-running the pipeline.  Give the cache a directory
+    # (or set REPRO_CACHE_DIR) and it persists across processes.
+    cache = CompileCache()
+    start = time.perf_counter()
+    cache.get_or_compile(SOURCE, "dcir")
+    cold = time.perf_counter() - start
+    start = time.perf_counter()
+    warm_result = cache.get_or_compile(SOURCE, "dcir")
+    warm = time.perf_counter() - start
+    print(f"\ncompile cache: cold {cold * 1e3:.1f}ms, warm {warm * 1e3:.2f}ms "
+          f"(cache_hit={warm_result.cache_hit})")
+
+    # Batch compilation: every pipeline at once, one failing item does not
+    # abort the sweep (its outcome carries the error instead of a result).
+    outcomes = compile_many(
+        [(SOURCE, pipeline) for pipeline in PIPELINES] + [("int broken( {", "gcc")],
+        cache=cache,
+    )
+    for outcome in outcomes:
+        status = "ok" if outcome.ok else f"{outcome.error_type}: {outcome.error}"
+        print(f"  compile_many[{outcome.request.label:<10}] {status}")
+
+    # Suite runner: compile + run a PolyBench subset through several
+    # pipelines with cache reuse, and cross-check that they agree.
+    session = Session(cache=cache)
+    report = session.run_suite(
+        polybench_suite(["gemm", "atax"]), pipelines=("gcc", "dace", "dcir")
+    )
+    print("\n" + report.table())
+    print("pipeline disagreements:", report.disagreements() or "none")
 
 
 if __name__ == "__main__":

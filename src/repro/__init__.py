@@ -12,27 +12,64 @@ Quick start::
 
     result = compile_c(C_SOURCE, pipeline="dcir")
     print(run_compiled(result).return_value)
+
+Evaluation-scale sweeps go through the service layer
+(:mod:`repro.service`), which memoizes compilation by content address,
+compiles batches in parallel, and runs whole workload suites::
+
+    from repro.service import CompileCache, Session, compile_many
+
+    # Content-addressed cache: the second compile is a rehydration, not a
+    # re-run of the pipeline.  Point it at a directory (or set the
+    # REPRO_CACHE_DIR environment variable) to persist across processes.
+    cache = CompileCache(directory=".repro-cache")
+    result = cache.get_or_compile(C_SOURCE, "dcir")        # cold: compiles
+    result = cache.get_or_compile(C_SOURCE, "dcir")        # warm: cache_hit=True
+
+    # Parallel batch compilation with per-item error isolation.
+    outcomes = compile_many([(C_SOURCE, p) for p in PIPELINES], cache=cache)
+
+    # Suite runner: compile + run a workload set, with cache reuse and a
+    # structured report (compile/run time, cache hits, movement stats).
+    session = Session(cache=cache)
+    report = session.run_polybench(["gemm", "atax"], pipelines=("gcc", "dcir"))
+    print(report.table())
 """
 
 from .pipeline import (
     PIPELINES,
     CompileResult,
+    GeneratedProgram,
     PipelineError,
     RunResult,
     compile_and_run,
     compile_c,
+    generate_program,
     run_compiled,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from .service import (  # noqa: E402  (needs __version__ for cache keys)
+    CompileCache,
+    Session,
+    SuiteReport,
+    compile_many,
+)
 
 __all__ = [
+    "CompileCache",
     "CompileResult",
+    "GeneratedProgram",
     "PIPELINES",
     "PipelineError",
     "RunResult",
+    "Session",
+    "SuiteReport",
     "__version__",
     "compile_and_run",
     "compile_c",
+    "compile_many",
+    "generate_program",
     "run_compiled",
 ]

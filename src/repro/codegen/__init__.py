@@ -11,6 +11,7 @@ from .control_flow import (
     states_in_tree,
 )
 from .cost_model import MovementReport, sdfg_movement_report
+from .loader import ProgramLoadError, load_entry
 from .mlir_python import CompiledMLIR, MLIRCodegenError, compile_mlir, generate_mlir_code
 from .sdfg_python import (
     CodegenError,
@@ -31,6 +32,7 @@ __all__ = [
     "LoopNode",
     "MLIRCodegenError",
     "MovementReport",
+    "ProgramLoadError",
     "SDFGPythonGenerator",
     "SequenceNode",
     "StateNode",
@@ -39,6 +41,7 @@ __all__ = [
     "compile_sdfg",
     "generate_code",
     "generate_mlir_code",
+    "load_entry",
     "python_expr",
     "sdfg_movement_report",
     "states_in_tree",

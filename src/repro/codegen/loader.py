@@ -1,0 +1,31 @@
+"""Loading generated Python source into executable objects.
+
+Both code generators emit *self-contained* Python source (imports included)
+whose top level defines a ``run(**kwargs)`` function.  That makes the code
+string the canonical serializable artifact: the compile cache stores it,
+and rehydration is a single ``exec`` — no IR objects required.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+
+class ProgramLoadError(Exception):
+    """Raised when generated code does not define the expected entry point."""
+
+
+def load_entry(code: str, entry: str = "run", filename: str = "<generated>") -> Callable:
+    """Execute generated source and return its ``entry`` callable."""
+    namespace: Dict[str, object] = {}
+    exec(compile(code, filename, "exec"), namespace)
+    try:
+        function = namespace[entry]
+    except KeyError:
+        raise ProgramLoadError(
+            f"Generated code defines no {entry!r} entry point "
+            f"(defined names: {sorted(k for k in namespace if not k.startswith('__'))})"
+        ) from None
+    if not callable(function):
+        raise ProgramLoadError(f"Generated name {entry!r} is not callable")
+    return function

@@ -25,6 +25,7 @@ from ..dialects.math_dialect import MATH_PYTHON_FUNCTIONS
 from ..dialects.scf import ForOp, IfOp, WhileOp
 from ..ir.core import Operation, Value
 from ..ir.types import DYNAMIC, FloatType, IndexType, IntegerType, MemRefType
+from .loader import load_entry
 
 
 class MLIRCodegenError(Exception):
@@ -294,6 +295,11 @@ class CompiledMLIR:
     def run(self, **kwargs):
         return self._function(**kwargs)
 
+    @classmethod
+    def from_code(cls, code: str, name: str = "cached") -> "CompiledMLIR":
+        """Rehydrate an executable from previously generated code."""
+        return cls(code=code, _function=load_entry(code, filename=f"<mlir:{name}>"))
+
 
 def generate_mlir_code(
     module, function: Optional[str] = None, native_scalars: bool = True, preallocate: bool = True
@@ -317,6 +323,4 @@ def compile_mlir(
     code = generate_mlir_code(
         module, function=function, native_scalars=native_scalars, preallocate=preallocate
     )
-    namespace: Dict[str, object] = {}
-    exec(compile(code, "<mlir>", "exec"), namespace)
-    return CompiledMLIR(code=code, _function=namespace["run"])
+    return CompiledMLIR.from_code(code)

@@ -40,6 +40,7 @@ from .control_flow import (
     StateNode,
     build_control_flow,
 )
+from .loader import load_entry
 
 
 class CodegenError(Exception):
@@ -523,7 +524,7 @@ class SDFGPythonGenerator:
 class CompiledSDFG:
     """An executable program generated from an SDFG."""
 
-    sdfg: SDFG
+    sdfg: Optional[SDFG]
     code: str
     _function: object = field(repr=False, default=None)
 
@@ -532,6 +533,15 @@ class CompiledSDFG:
 
     def run(self, **kwargs):
         return self._function(**kwargs)
+
+    @classmethod
+    def from_code(cls, code: str, sdfg: Optional[SDFG] = None, name: str = "cached") -> "CompiledSDFG":
+        """Rehydrate an executable from previously generated code.
+
+        The SDFG is optional: the code string is self-contained, so cache
+        layers can persist it alone and reload without any IR.
+        """
+        return cls(sdfg=sdfg, code=code, _function=load_entry(code, filename=f"<sdfg:{name}>"))
 
 
 def generate_code(sdfg: SDFG, vectorize: bool = False) -> str:
@@ -542,6 +552,4 @@ def generate_code(sdfg: SDFG, vectorize: bool = False) -> str:
 def compile_sdfg(sdfg: SDFG, vectorize: bool = False) -> CompiledSDFG:
     """Generate and load an executable program for ``sdfg``."""
     code = generate_code(sdfg, vectorize=vectorize)
-    namespace: Dict[str, object] = {}
-    exec(compile(code, f"<sdfg:{sdfg.name}>", "exec"), namespace)
-    return CompiledSDFG(sdfg=sdfg, code=code, _function=namespace["run"])
+    return CompiledSDFG.from_code(code, sdfg=sdfg, name=sdfg.name)

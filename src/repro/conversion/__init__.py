@@ -6,11 +6,33 @@ from .to_sdfg_dialect import ConversionError, SDFGDialectConverter, convert_to_s
 from .translator import SDFGTranslator, TranslationError, translate_module
 
 
+def module_function_names(module):
+    """Names of the functions defined by a compiled MLIR module."""
+    from ..dialects.func import FuncOp
+
+    return [op.sym_name for op in module.body.operations if isinstance(op, FuncOp)]
+
+
+def require_function(module, function):
+    """Raise a clear ``PipelineError`` when ``function`` is not in ``module``."""
+    if function is None:
+        return
+    names = module_function_names(module)
+    if function not in names:
+        from ..errors import PipelineError
+
+        raise PipelineError(
+            f"Function {function!r} not found in source; "
+            f"available functions: {sorted(names)}"
+        )
+
+
 def mlir_to_sdfg(module, function=None):
     """Full bridge: MLIR core dialects → sdfg dialect → SDFG IR.
 
     This is the red/blue hand-off point of the DCIR pipeline (Fig. 4).
     """
+    require_function(module, function)
     dialect_module = convert_to_sdfg_dialect(module, function=function)
     return translate_module(dialect_module, function=function)
 
@@ -24,6 +46,8 @@ __all__ = [
     "TranslationError",
     "convert_to_sdfg_dialect",
     "mlir_to_sdfg",
+    "module_function_names",
+    "require_function",
     "raise_tasklet",
     "translate_module",
 ]

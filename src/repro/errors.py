@@ -1,0 +1,14 @@
+"""Shared exception types of the compilation pipelines and the service layer.
+
+``PipelineError`` lives here (rather than in :mod:`repro.pipeline`) so the
+lower layers — conversion, codegen, the compile cache — can raise it for
+user-facing misuse (unknown pipeline name, ``function=`` naming a function
+that does not exist) without importing the pipeline package and creating an
+import cycle.
+"""
+
+from __future__ import annotations
+
+
+class PipelineError(Exception):
+    """Raised for unknown pipelines, bad requests or failed compilation stages."""

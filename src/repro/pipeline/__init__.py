@@ -3,19 +3,29 @@
 from .pipelines import (
     PIPELINES,
     CompileResult,
+    GeneratedProgram,
     PipelineError,
     RunResult,
+    available_functions,
     compile_and_run,
     compile_c,
+    generate_program,
+    load_runner,
+    result_from_payload,
     run_compiled,
 )
 
 __all__ = [
     "CompileResult",
+    "GeneratedProgram",
     "PIPELINES",
     "PipelineError",
     "RunResult",
+    "available_functions",
     "compile_and_run",
     "compile_c",
+    "generate_program",
+    "load_runner",
+    "result_from_payload",
     "run_compiled",
 ]

@@ -14,6 +14,17 @@ pipeline   control-centric passes          bridge   data-centric passes / codege
 ``dcir``   full suite                      yes      full §6 set, SDFG codegen
 ``dcir+vec`` as dcir                       yes      as dcir, vectorized maps
 ========== ============================== ======== ============================
+
+The module is split into a *pure* compilation stage and artifact
+construction so the service layer (:mod:`repro.service`) can cache the
+former and cheaply redo the latter:
+
+* :func:`generate_program` runs frontend → passes → (bridge →) codegen and
+  returns a :class:`GeneratedProgram` — the emitted Python source plus
+  serializable statistics.  No executable objects are created.
+* :meth:`GeneratedProgram.to_result` / :func:`load_runner` turn generated
+  code into a live :class:`CompileResult`; :func:`result_from_payload`
+  rehydrates one from a cached payload without re-running any pass.
 """
 
 from __future__ import annotations
@@ -24,17 +35,23 @@ from typing import Callable, Dict, List, Optional
 
 from ..codegen import (
     MovementReport,
-    compile_mlir,
-    compile_sdfg,
+    generate_mlir_code,
+    generate_code as generate_sdfg_code,
+    load_entry,
     sdfg_movement_report,
 )
-from ..conversion import mlir_to_sdfg
+from ..conversion import mlir_to_sdfg, module_function_names, require_function
+from ..errors import PipelineError
 from ..frontend import compile_c_to_mlir
 from ..passes import control_centric_pipeline
 from ..sdfg import SDFG
 from ..transforms import data_centric_pipeline
 
 PIPELINES = ("gcc", "clang", "dace", "mlir", "dcir", "dcir+vec")
+
+#: Version tag of the serialized program payload; bump when the payload
+#: layout or the semantics of generated code change incompatibly.
+PAYLOAD_VERSION = 1
 
 
 @dataclass
@@ -49,20 +66,30 @@ class CompileResult:
     mlir_module: object = None
     compile_seconds: float = 0.0
     optimization_report: object = None
+    #: True when this result was rehydrated from the compile cache rather
+    #: than produced by a fresh run of the compilation pipeline.
+    cache_hit: bool = False
+    _cached_movement: Optional[MovementReport] = field(repr=False, default=None)
+    _cached_eliminated: Optional[List[str]] = field(repr=False, default=None)
 
     def run(self, **kwargs) -> Dict:
         return self.runner(**kwargs)
 
     def movement_report(self, symbols: Optional[Dict[str, float]] = None) -> Optional[MovementReport]:
-        if self.sdfg is None:
+        if self.sdfg is not None:
+            return sdfg_movement_report(self.sdfg, symbols)
+        # Rehydrated results carry the report computed at compile time with
+        # default symbol values; honoring custom ``symbols`` needs the live
+        # SDFG, so return None rather than silently wrong statistics.
+        if symbols:
             return None
-        return sdfg_movement_report(self.sdfg, symbols)
+        return self._cached_movement
 
     @property
     def eliminated_containers(self) -> List[str]:
-        if self.sdfg is None:
-            return []
-        return list(self.sdfg.eliminated_containers)
+        if self.sdfg is not None:
+            return list(self.sdfg.eliminated_containers)
+        return list(self._cached_eliminated or [])
 
 
 @dataclass
@@ -79,21 +106,117 @@ class RunResult:
         return self.outputs.get("__return")
 
 
-class PipelineError(Exception):
-    """Raised for unknown pipelines or failed compilation stages."""
+@dataclass
+class GeneratedProgram:
+    """Pure compilation artifact: generated code plus statistics.
+
+    Everything needed to *execute* the program later is in :attr:`code`
+    (self-contained Python source defining ``run(**kwargs)``); the live IR
+    objects are kept only for fresh compiles and are excluded from the
+    cacheable payload.
+    """
+
+    pipeline: str
+    function: Optional[str]
+    code: str
+    compile_seconds: float = 0.0
+    sdfg: Optional[SDFG] = None
+    mlir_module: object = None
+    optimization_report: object = None
+
+    def to_payload(self) -> Dict:
+        """Serializable (JSON-safe) snapshot for the content-addressed cache."""
+        movement = None
+        eliminated: List[str] = []
+        if self.sdfg is not None:
+            report = sdfg_movement_report(self.sdfg)
+            movement = {
+                "elements_moved": report.elements_moved,
+                "bytes_moved": report.bytes_moved,
+                "allocations": report.allocations,
+                "allocated_bytes": report.allocated_bytes,
+                "per_container": dict(report.per_container),
+            }
+            eliminated = list(self.sdfg.eliminated_containers)
+        return {
+            "version": PAYLOAD_VERSION,
+            "pipeline": self.pipeline,
+            "function": self.function,
+            "code": self.code,
+            "compile_seconds": self.compile_seconds,
+            "movement": movement,
+            "eliminated_containers": eliminated,
+        }
+
+    def to_result(self) -> CompileResult:
+        """Construct the executable artifact from this program."""
+        return CompileResult(
+            pipeline=self.pipeline,
+            function=self.function,
+            code=self.code,
+            runner=load_runner(self.code, name=f"<{self.pipeline}>"),
+            sdfg=self.sdfg,
+            mlir_module=self.mlir_module,
+            compile_seconds=self.compile_seconds,
+            optimization_report=self.optimization_report,
+        )
 
 
-def compile_c(source: str, pipeline: str = "dcir", function: Optional[str] = None) -> CompileResult:
-    """Compile C source through the requested pipeline.
+def load_runner(code: str, name: str = "<generated>") -> Callable:
+    """Load generated Python source into its ``run(**kwargs)`` callable."""
+    return load_entry(code, entry="run", filename=name)
 
-    This is the main public entry point of the library: it reproduces the
-    paper's Fig. 4 conversion pipeline for ``dcir`` and the baseline paths
-    for the other pipeline names.
+
+def result_from_payload(payload: Dict) -> CompileResult:
+    """Rehydrate a :class:`CompileResult` from a cached payload.
+
+    Only the generated code is re-``exec``-ed — no frontend, pass or codegen
+    work runs.  The rehydrated result has no live SDFG/MLIR objects; the
+    movement report and eliminated-container list recorded at compile time
+    stand in for them.
+    """
+    movement = None
+    if payload.get("movement") is not None:
+        snapshot = payload["movement"]
+        movement = MovementReport(
+            elements_moved=snapshot.get("elements_moved", 0.0),
+            bytes_moved=snapshot.get("bytes_moved", 0.0),
+            allocations=snapshot.get("allocations", 0.0),
+            allocated_bytes=snapshot.get("allocated_bytes", 0.0),
+            per_container=dict(snapshot.get("per_container", {})),
+        )
+    return CompileResult(
+        pipeline=payload["pipeline"],
+        function=payload.get("function"),
+        code=payload["code"],
+        runner=load_runner(payload["code"], name=f"<cached:{payload['pipeline']}>"),
+        compile_seconds=payload.get("compile_seconds", 0.0),
+        cache_hit=True,
+        _cached_movement=movement,
+        _cached_eliminated=list(payload.get("eliminated_containers", [])),
+    )
+
+
+def available_functions(module) -> List[str]:
+    """Names of the functions defined by a compiled MLIR module."""
+    return module_function_names(module)
+
+
+def generate_program(
+    source: str, pipeline: str = "dcir", function: Optional[str] = None
+) -> GeneratedProgram:
+    """Run the pure compilation stages for one pipeline.
+
+    Frontend → control-centric passes → (SDFG bridge → data-centric passes →)
+    code generation, producing a :class:`GeneratedProgram`.  This performs no
+    ``exec`` and builds no callables, so the service layer can run it in a
+    worker process and ship the payload back to the parent.
     """
     if pipeline not in PIPELINES:
         raise PipelineError(f"Unknown pipeline {pipeline!r}; choose one of {PIPELINES}")
     start = time.perf_counter()
     module = compile_c_to_mlir(source)
+    require_function(module, function)
 
     if pipeline in ("gcc", "clang", "mlir", "dcir", "dcir+vec"):
         include_memref_dce = pipeline != "clang"
@@ -103,33 +226,42 @@ def compile_c(source: str, pipeline: str = "dcir", function: Optional[str] = Non
 
     if pipeline in ("gcc", "clang", "mlir"):
         native = pipeline in ("gcc", "clang")
-        compiled = compile_mlir(
+        code = generate_mlir_code(
             module, function=function, native_scalars=native, preallocate=native
         )
-        return CompileResult(
+        return GeneratedProgram(
             pipeline=pipeline,
             function=function,
-            code=compiled.code,
-            runner=compiled.run,
-            mlir_module=module,
+            code=code,
             compile_seconds=time.perf_counter() - start,
+            mlir_module=module,
             optimization_report=control_report,
         )
 
     # Data-centric pipelines: bridge to the SDFG IR and optimize there.
     sdfg = mlir_to_sdfg(module, function=function)
     data_report = data_centric_pipeline().apply(sdfg)
-    compiled = compile_sdfg(sdfg, vectorize=pipeline == "dcir+vec")
-    return CompileResult(
+    code = generate_sdfg_code(sdfg, vectorize=pipeline == "dcir+vec")
+    return GeneratedProgram(
         pipeline=pipeline,
         function=function,
-        code=compiled.code,
-        runner=compiled.run,
+        code=code,
+        compile_seconds=time.perf_counter() - start,
         sdfg=sdfg,
         mlir_module=module,
-        compile_seconds=time.perf_counter() - start,
         optimization_report=data_report,
     )
+
+
+def compile_c(source: str, pipeline: str = "dcir", function: Optional[str] = None) -> CompileResult:
+    """Compile C source through the requested pipeline.
+
+    This is the main public entry point of the library: it reproduces the
+    paper's Fig. 4 conversion pipeline for ``dcir`` and the baseline paths
+    for the other pipeline names.  For cached and batched compilation see
+    :mod:`repro.service`.
+    """
+    return generate_program(source, pipeline, function=function).to_result()
 
 
 def run_compiled(result: CompileResult, repetitions: int = 1, **kwargs) -> RunResult:

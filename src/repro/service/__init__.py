@@ -1,0 +1,48 @@
+"""Compilation service layer: caching, batching, sessions.
+
+The paper's evaluation (§7) compiles the same kernels through six pipelines
+over and over; this subsystem makes such sweeps cheap and scalable:
+
+* :class:`CompileCache` — content-addressed memoization (SHA-256 of
+  normalized source + pipeline + function + library version) with an
+  in-memory LRU and an optional on-disk store (``REPRO_CACHE_DIR``),
+  rehydrating results from generated code without re-running any pass;
+* :func:`compile_many` — parallel batch compilation over
+  ``concurrent.futures`` executors with per-item error capture;
+* :class:`Session` — a suite runner that compiles and runs whole workload
+  sets with cache reuse and returns a structured :class:`SuiteReport`
+  (compile/run time, cache hits, movement and allocation statistics,
+  cross-pipeline agreement).
+"""
+
+from .batch import (
+    BatchOutcome,
+    CompileRequest,
+    as_request,
+    compile_many,
+    default_executor,
+)
+from .cache import (
+    CACHE_DIR_ENV,
+    CacheStats,
+    CompileCache,
+    cache_key,
+    normalize_source,
+)
+from .session import Session, SuiteEntry, SuiteReport
+
+__all__ = [
+    "BatchOutcome",
+    "CACHE_DIR_ENV",
+    "CacheStats",
+    "CompileCache",
+    "CompileRequest",
+    "Session",
+    "SuiteEntry",
+    "SuiteReport",
+    "as_request",
+    "cache_key",
+    "compile_many",
+    "default_executor",
+    "normalize_source",
+]

@@ -1,0 +1,188 @@
+"""Parallel batch compilation.
+
+Evaluation sweeps compile many independent (kernel × pipeline) pairs; the
+compilation stages are pure (no shared mutable state), so they parallelize
+naturally.  :func:`compile_many` fans the cold items out over a
+``concurrent.futures`` executor — processes by default when more than one
+CPU is available (compilation is CPU-bound pure Python, so threads cannot
+exceed one core's throughput under the GIL) — and captures per-item errors
+so one failing kernel never aborts a sweep.
+
+Workers run only the *pure* stage (:func:`repro.pipeline.generate_program`)
+and return the serializable payload; the parent rehydrates results and
+warms its compile cache, which is also how results cross process
+boundaries without pickling live IR objects.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..pipeline import CompileResult, generate_program, result_from_payload
+from .cache import CompileCache, cache_key
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One item of a batch: a (source, pipeline, function) triple."""
+
+    source: str
+    pipeline: str = "dcir"
+    function: Optional[str] = None
+    name: Optional[str] = None  # display label; defaults to the pipeline name
+
+    @property
+    def label(self) -> str:
+        return self.name if self.name is not None else self.pipeline
+
+
+@dataclass
+class BatchOutcome:
+    """Per-item result of :func:`compile_many`: a result or a captured error."""
+
+    request: CompileRequest
+    result: Optional[CompileResult] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    error_traceback: Optional[str] = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def cache_hit(self) -> bool:
+        return bool(self.result is not None and self.result.cache_hit)
+
+
+RequestLike = Union[CompileRequest, Tuple, Dict, str]
+
+
+def as_request(item: RequestLike) -> CompileRequest:
+    """Coerce tuples/dicts/strings into a :class:`CompileRequest`."""
+    if isinstance(item, CompileRequest):
+        return item
+    if isinstance(item, str):
+        return CompileRequest(source=item)
+    if isinstance(item, dict):
+        return CompileRequest(**item)
+    if isinstance(item, tuple):
+        return CompileRequest(*item)
+    raise TypeError(f"Cannot interpret {type(item).__name__} as a compile request")
+
+
+def default_executor() -> str:
+    """Executor kind used when none is requested."""
+    return "process" if (os.cpu_count() or 1) > 1 else "thread"
+
+
+def _compile_payload(request: CompileRequest) -> Dict:
+    """Worker: run the pure compile stage, returning payload or error info.
+
+    Must stay module-level and return only JSON-ish data so it works
+    identically under ``ProcessPoolExecutor`` (pickled across the fork)
+    and ``ThreadPoolExecutor``.
+    """
+    start = time.perf_counter()
+    try:
+        payload = generate_program(
+            request.source, request.pipeline, function=request.function
+        ).to_payload()
+        return {"ok": True, "payload": payload, "seconds": time.perf_counter() - start}
+    except Exception as exc:  # per-item isolation: a bad kernel must not kill the sweep
+        return {
+            "ok": False,
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+            "error_traceback": traceback.format_exc(),
+            "seconds": time.perf_counter() - start,
+        }
+
+
+def compile_many(
+    items: Iterable[RequestLike],
+    executor: Optional[str] = None,
+    max_workers: Optional[int] = None,
+    cache: Optional[CompileCache] = None,
+) -> List[BatchOutcome]:
+    """Compile a batch of requests, in parallel, with per-item error capture.
+
+    ``executor`` is ``"process"``, ``"thread"`` or ``"serial"`` (default:
+    picked by :func:`default_executor`).  When a ``cache`` is given, hits
+    are served without entering the pool and fresh payloads are stored back,
+    so a batch both benefits from and warms the cache.  The returned list
+    is index-aligned with ``items``; failed items carry the error message,
+    type and traceback instead of a result.
+    """
+    requests = [as_request(item) for item in items]
+    outcomes: List[Optional[BatchOutcome]] = [None] * len(requests)
+
+    pending: List[int] = []
+    for index, request in enumerate(requests):
+        if cache is not None:
+            payload = cache.lookup(cache_key(request.source, request.pipeline, request.function))
+            if payload is not None:
+                outcomes[index] = BatchOutcome(request=request, result=result_from_payload(payload))
+                continue
+        pending.append(index)
+
+    kind = executor or default_executor()
+    if kind not in ("process", "thread", "serial"):
+        raise ValueError(f"Unknown executor {kind!r}; choose 'process', 'thread' or 'serial'")
+
+    def finish(index: int, report: Dict) -> None:
+        request = requests[index]
+        if report["ok"]:
+            payload = report["payload"]
+            if cache is not None:
+                cache.store(cache_key(request.source, request.pipeline, request.function), payload)
+            result = result_from_payload(payload)
+            result.cache_hit = False  # freshly compiled, merely shipped as a payload
+            outcomes[index] = BatchOutcome(request=request, result=result, seconds=report["seconds"])
+        else:
+            outcomes[index] = BatchOutcome(
+                request=request,
+                error=report["error"],
+                error_type=report["error_type"],
+                error_traceback=report["error_traceback"],
+                seconds=report["seconds"],
+            )
+
+    if kind == "serial" or len(pending) <= 1:
+        for index in pending:
+            finish(index, _compile_payload(requests[index]))
+    else:
+        pool_cls = ProcessPoolExecutor if kind == "process" else ThreadPoolExecutor
+        workers = max_workers or min(len(pending), os.cpu_count() or 1)
+        try:
+            pool = pool_cls(max_workers=max(1, workers))
+        except (OSError, PermissionError):
+            # Sandboxes without fork/spawn support: degrade to serial.
+            for index in pending:
+                finish(index, _compile_payload(requests[index]))
+        else:
+            with pool:
+                futures = {
+                    pool.submit(_compile_payload, requests[index]): index for index in pending
+                }
+                for future, index in futures.items():
+                    try:
+                        finish(index, future.result())
+                    except Exception as exc:
+                        # A crashed worker (e.g. OOM-killed: BrokenProcessPool)
+                        # must not abort the sweep; collateral pending items
+                        # get the same honest error instead of a result.
+                        outcomes[index] = BatchOutcome(
+                            request=requests[index],
+                            error=str(exc) or type(exc).__name__,
+                            error_type=type(exc).__name__,
+                            error_traceback=traceback.format_exc(),
+                        )
+
+    return [outcome for outcome in outcomes if outcome is not None]

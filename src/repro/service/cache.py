@@ -1,0 +1,204 @@
+"""Content-addressed compilation cache.
+
+Compiling the same kernel through the same pipeline always produces the
+same generated code (codegen is deterministic — a regression-tested
+invariant), so compilation results can be memoized by content address: the
+SHA-256 of the *normalized* C source, the pipeline name, the requested
+function and the library version.  Two stores back the cache:
+
+* an in-memory LRU holding serialized payloads (never live objects — every
+  hit rehydrates a fresh :class:`~repro.pipeline.CompileResult`, so cached
+  results share no mutable state between callers);
+* an optional on-disk store (one JSON file per key) that survives
+  processes, letting consecutive test or benchmark invocations skip
+  compilation entirely.  Set the ``REPRO_CACHE_DIR`` environment variable
+  to give every default-constructed cache a persistent directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+from .. import __version__
+from ..pipeline import CompileResult, generate_program, result_from_payload
+from ..pipeline.pipelines import PAYLOAD_VERSION
+
+#: Environment variable naming the default on-disk cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def normalize_source(source: str) -> str:
+    """Normalize C source for content addressing.
+
+    Line endings and per-line trailing whitespace are canonicalized and
+    surrounding blank lines dropped — formatting variations that cannot
+    change the compiled program.  Anything further (comments, internal
+    whitespace) is left alone: the frontend sees exactly what we hash.
+    """
+    lines = source.replace("\r\n", "\n").replace("\r", "\n").split("\n")
+    return "\n".join(line.rstrip() for line in lines).strip("\n")
+
+
+def cache_key(source: str, pipeline: str, function: Optional[str] = None) -> str:
+    """Content address of one compilation request."""
+    basis = json.dumps(
+        {
+            "source": normalize_source(source),
+            "pipeline": pipeline,
+            "function": function,
+            "version": __version__,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how a cache instance has been used."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.disk_hits, self.stores, self.evictions)
+
+    def __str__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits} (disk {self.disk_hits}), "
+            f"misses={self.misses}, stores={self.stores}, evictions={self.evictions})"
+        )
+
+
+class CompileCache:
+    """In-memory LRU + optional on-disk store of compilation payloads."""
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        directory: Optional[os.PathLike] = None,
+        use_env_directory: bool = True,
+    ):
+        if directory is None and use_env_directory:
+            directory = os.environ.get(CACHE_DIR_ENV) or None
+        self.directory = Path(directory) if directory is not None else None
+        self.max_entries = max(1, int(max_entries))
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._memory: "OrderedDict[str, Dict]" = OrderedDict()
+
+    # -- store layers ---------------------------------------------------------------
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.json"
+
+    def _memory_put(self, key: str, payload: Dict) -> None:
+        # Caller holds the lock.
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def lookup(self, key: str) -> Optional[Dict]:
+        """Fetch a payload by key, promoting disk entries into memory."""
+        with self._lock:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                return payload
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                payload = None  # corrupt/racing entry: treat as a miss
+            if (
+                isinstance(payload, dict)
+                and "code" in payload
+                and payload.get("version") == PAYLOAD_VERSION
+            ):
+                with self._lock:
+                    self._memory_put(key, payload)
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                return payload
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def store(self, key: str, payload: Dict) -> None:
+        """Insert a payload into the memory LRU and (if enabled) the disk store."""
+        with self._lock:
+            self._memory_put(key, payload)
+            self.stats.stores += 1
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            scratch = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            scratch.write_text(json.dumps(payload), encoding="utf-8")
+            scratch.replace(path)  # atomic: concurrent readers see old or new
+        except OSError:
+            pass  # a read-only or full disk must not fail compilation
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the in-memory entries (and optionally the on-disk store)."""
+        with self._lock:
+            self._memory.clear()
+        if disk and self.directory is not None and self.directory.exists():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._memory:
+                return True
+        path = self._disk_path(key)
+        return path is not None and path.exists()
+
+    # -- the cached compile entry point ---------------------------------------------
+    def get_or_compile(
+        self, source: str, pipeline: str = "dcir", function: Optional[str] = None
+    ) -> CompileResult:
+        """Compile through the cache.
+
+        On a hit, a fresh :class:`CompileResult` is rehydrated from the
+        stored payload (``cache_hit=True``) without running any compiler
+        stage; on a miss the full pipeline runs and its payload is stored.
+        """
+        key = cache_key(source, pipeline, function)
+        payload = self.lookup(key)
+        if payload is not None:
+            return result_from_payload(payload)
+        program = generate_program(source, pipeline, function=function)
+        self.store(key, program.to_payload())
+        return program.to_result()

@@ -1,0 +1,245 @@
+"""Compilation sessions and the suite runner.
+
+A :class:`Session` ties the service layer together: one compile cache, one
+executor policy, and a suite runner that compiles and runs a whole workload
+set (e.g. all PolyBench kernels × selected pipelines) the way the paper's
+evaluation does — reporting compile time, run time, cache hits and the
+movement/allocation statistics the cost model provides, and cross-checking
+that every pipeline agrees on each workload's output.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..pipeline import PIPELINES, CompileResult, run_compiled
+from .batch import BatchOutcome, CompileRequest, compile_many
+from .cache import CacheStats, CompileCache
+
+
+@dataclass
+class SuiteEntry:
+    """One (workload × pipeline) cell of a suite run."""
+
+    workload: str
+    pipeline: str
+    compile_seconds: float = 0.0
+    run_seconds: float = 0.0
+    cache_hit: bool = False
+    return_value: Optional[float] = None
+    allocations: int = 0
+    moved_bytes: Optional[float] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SuiteReport:
+    """Structured result of one suite run."""
+
+    entries: List[SuiteEntry] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    cache_stats: Optional[CacheStats] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(entry.ok for entry in self.entries)
+
+    @property
+    def failures(self) -> List[SuiteEntry]:
+        return [entry for entry in self.entries if not entry.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for entry in self.entries if entry.cache_hit)
+
+    @property
+    def compile_seconds(self) -> float:
+        return sum(entry.compile_seconds for entry in self.entries)
+
+    @property
+    def run_seconds(self) -> float:
+        return sum(entry.run_seconds for entry in self.entries)
+
+    def by_workload(self) -> Dict[str, List[SuiteEntry]]:
+        grouped: Dict[str, List[SuiteEntry]] = {}
+        for entry in self.entries:
+            grouped.setdefault(entry.workload, []).append(entry)
+        return grouped
+
+    def disagreements(self, rel: float = 1e-9) -> Dict[str, List[SuiteEntry]]:
+        """Workloads whose pipelines do not agree on the return value.
+
+        The first successful entry of each workload is the reference; an
+        entry disagrees when its return value differs by more than ``rel``
+        relatively (``nan`` never agrees).  Differential testing across the
+        six pipelines is the suite-runner's correctness oracle, mirroring
+        the paper's cross-pipeline checksum validation.
+        """
+        bad: Dict[str, List[SuiteEntry]] = {}
+        for workload, entries in self.by_workload().items():
+            good = [entry for entry in entries if entry.ok and entry.return_value is not None]
+            if len(good) < 2:
+                continue
+            reference = good[0].return_value
+            scale = max(abs(reference), 1.0)
+            mismatched = [
+                entry
+                for entry in good[1:]
+                if not (abs(entry.return_value - reference) <= rel * scale)
+            ]
+            if mismatched:
+                bad[workload] = mismatched
+        return bad
+
+    def table(self) -> str:
+        """Render the report as an aligned text table."""
+        header = (
+            f"{'workload':<18}{'pipeline':<10}{'compile':>10}{'run':>10}"
+            f"{'cache':>7}{'allocs':>8}  result"
+        )
+        lines = [header, "-" * len(header)]
+        for entry in self.entries:
+            if entry.ok:
+                value = f"{entry.return_value:.6g}" if entry.return_value is not None else "-"
+                lines.append(
+                    f"{entry.workload:<18}{entry.pipeline:<10}"
+                    f"{entry.compile_seconds * 1e3:>8.1f}ms{entry.run_seconds * 1e3:>8.2f}ms"
+                    f"{'hit' if entry.cache_hit else 'miss':>7}{entry.allocations:>8}  {value}"
+                )
+            else:
+                lines.append(
+                    f"{entry.workload:<18}{entry.pipeline:<10}"
+                    f"{'-':>10}{'-':>10}{'-':>7}{'-':>8}  {entry.error_type}: {entry.error}"
+                )
+        lines.append(
+            f"total: compile {self.compile_seconds:.2f}s, run {self.run_seconds:.2f}s, "
+            f"{self.cache_hits}/{len(self.entries)} cache hits, wall {self.wall_seconds:.2f}s"
+        )
+        return "\n".join(lines)
+
+
+#: Workload sets accepted by the suite runner: a name→source mapping or an
+#: iterable of (name, source) pairs.
+WorkloadsLike = Union[Mapping[str, str], Iterable[Tuple[str, str]]]
+
+
+class Session:
+    """A compilation service session: cache + executor policy + suite runner."""
+
+    def __init__(
+        self,
+        cache: Optional[CompileCache] = None,
+        cache_dir: Optional[str] = None,
+        executor: Optional[str] = None,
+        max_workers: Optional[int] = None,
+    ):
+        if cache is not None and cache_dir is not None:
+            raise ValueError("Pass either a cache instance or cache_dir, not both")
+        self.cache = cache if cache is not None else CompileCache(directory=cache_dir)
+        self.executor = executor
+        self.max_workers = max_workers
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def compile(
+        self, source: str, pipeline: str = "dcir", function: Optional[str] = None
+    ) -> CompileResult:
+        """Cached single compile (see :meth:`CompileCache.get_or_compile`)."""
+        return self.cache.get_or_compile(source, pipeline, function=function)
+
+    def compile_many(
+        self, items: Iterable, executor: Optional[str] = None, max_workers: Optional[int] = None
+    ) -> List[BatchOutcome]:
+        """Cached parallel batch compile with per-item error capture."""
+        return compile_many(
+            items,
+            executor=executor or self.executor,
+            max_workers=max_workers or self.max_workers,
+            cache=self.cache,
+        )
+
+    def run_suite(
+        self,
+        workloads: WorkloadsLike,
+        pipelines: Sequence[str] = ("dcir",),
+        repetitions: int = 1,
+        parallel: bool = False,
+        symbols: Optional[Dict[str, float]] = None,
+    ) -> SuiteReport:
+        """Compile and run every workload through every pipeline.
+
+        With ``parallel=True`` the cold compiles are batched through the
+        session executor first; runs always happen sequentially in-process
+        (they are being timed).  Compilation or runtime errors are captured
+        per entry, never aborting the remaining suite.
+        """
+        named = list(workloads.items()) if isinstance(workloads, Mapping) else list(workloads)
+        pairs = [(name, source, pipeline) for name, source in named for pipeline in pipelines]
+        start = time.perf_counter()
+
+        if parallel and len(pairs) > 1:
+            self.compile_many(
+                [CompileRequest(source=source, pipeline=pipeline, name=name)
+                 for name, source, pipeline in pairs]
+            )  # warms the cache; per-item errors re-surface in the loop below
+
+        report = SuiteReport()
+        for name, source, pipeline in pairs:
+            entry = SuiteEntry(workload=name, pipeline=pipeline)
+            compile_start = time.perf_counter()
+            try:
+                compiled = self.compile(source, pipeline)
+            except Exception as exc:
+                entry.compile_seconds = time.perf_counter() - compile_start
+                entry.error = str(exc)
+                entry.error_type = type(exc).__name__
+                report.entries.append(entry)
+                continue
+            entry.compile_seconds = time.perf_counter() - compile_start
+            entry.cache_hit = compiled.cache_hit
+            movement = compiled.movement_report(symbols)
+            if movement is not None:
+                entry.moved_bytes = movement.bytes_moved
+            try:
+                run = run_compiled(compiled, repetitions=repetitions)
+            except Exception as exc:
+                entry.error = str(exc)
+                entry.error_type = type(exc).__name__
+                report.entries.append(entry)
+                continue
+            entry.run_seconds = run.seconds
+            entry.allocations = run.allocations
+            value = run.return_value
+            entry.return_value = float(value) if value is not None else None
+            report.entries.append(entry)
+
+        report.wall_seconds = time.perf_counter() - start
+        report.cache_stats = self.cache.stats.snapshot()
+        return report
+
+    def run_polybench(
+        self,
+        kernels: Optional[Sequence[str]] = None,
+        pipelines: Sequence[str] = PIPELINES,
+        sizes: Optional[Dict[str, Dict[str, int]]] = None,
+        repetitions: int = 1,
+        parallel: bool = False,
+    ) -> SuiteReport:
+        """Run the PolyBench workload set (the paper's Fig. 6 sweep)."""
+        from ..workloads import polybench_suite
+
+        return self.run_suite(
+            polybench_suite(kernels, sizes=sizes),
+            pipelines=pipelines,
+            repetitions=repetitions,
+            parallel=parallel,
+        )

@@ -8,7 +8,7 @@ from .casestudies import (
     syrk_source,
 )
 from .mish import mish_source, reference_checksum, run_eager, run_jit
-from .polybench import EXCLUDED, KERNELS, get_kernel, kernel_names
+from .polybench import EXCLUDED, KERNELS, get_kernel, kernel_names, polybench_suite
 
 __all__ = [
     "EXCLUDED",
@@ -22,6 +22,7 @@ __all__ = [
     "mish",
     "mish_source",
     "polybench",
+    "polybench_suite",
     "reference_checksum",
     "run_eager",
     "run_jit",

@@ -54,6 +54,22 @@ def kernel_names() -> List[str]:
     return sorted(KERNELS)
 
 
+def polybench_suite(
+    kernels: "List[str] | None" = None,
+    sizes: "Dict[str, Dict[str, int]] | None" = None,
+) -> Dict[str, str]:
+    """Instantiate a name → C source workload set for the suite runner.
+
+    ``kernels`` defaults to every registered kernel; ``sizes`` optionally
+    maps kernel names to problem-size overrides (unlisted kernels use their
+    defaults).  The result plugs directly into
+    :meth:`repro.service.Session.run_suite`.
+    """
+    names = list(kernels) if kernels is not None else kernel_names()
+    sizes = sizes or {}
+    return {name: get_kernel(name, sizes.get(name)) for name in names}
+
+
 # --------------------------------------------------------------------------
 # Linear algebra kernels
 # --------------------------------------------------------------------------
