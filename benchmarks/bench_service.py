@@ -21,7 +21,8 @@ import time
 import pytest
 
 from bench_fig6_polybench import BENCH_SIZES
-from repro.service import CompileCache, CompileRequest, Session, compile_many
+from repro import get_pipeline
+from repro.service import CompileCache, CompileRequest, Session, cache_key, compile_many
 from repro.workloads import polybench_suite
 
 
@@ -67,3 +68,37 @@ def test_parallel_batch_beats_sequential_cold_sweep():
     if (os.cpu_count() or 1) < 2:
         pytest.skip("single-CPU machine: a process pool cannot beat sequential")
     assert pooled_seconds < serial_seconds
+
+
+def test_ablation_sweep_over_custom_specs():
+    """Sweep per-pass ablations of dcir as declarative specs.
+
+    The declarative PipelineSpec API makes "dcir minus one data-centric
+    pass" a value, so an ablation grid is just a request list: every spec
+    content-addresses separately in the shared cache and batches through
+    the same pool as the named pipelines.
+    """
+    dcir = get_pipeline("dcir")
+    ablations = {"dcir": dcir}
+    for target in ("map-fusion", "memory-preallocation", "array-elimination"):
+        ablations[f"dcir−{target}"] = dcir.without_pass(target, name=f"dcir-no-{target}")
+
+    source = _suite()["gemm"]
+    assert len({cache_key(source, spec) for spec in ablations.values()}) == len(ablations)
+
+    cache = CompileCache(max_entries=1024, use_env_directory=False)
+    requests = [
+        CompileRequest(source=source, pipeline=spec, name=label)
+        for label, spec in ablations.items()
+    ]
+    cold = compile_many(requests, cache=cache)
+    warm = compile_many(requests, cache=cache)
+    assert all(outcome.ok for outcome in cold), [o.error for o in cold if not o.ok]
+    assert all(outcome.cache_hit for outcome in warm)
+
+    values = {outcome.request.label: outcome.result.run()["__return"] for outcome in cold}
+    reference = values["dcir"]
+    print()
+    for label, value in values.items():
+        print(f"  {label:<28} return={value:.6g}")
+        assert value == pytest.approx(reference, rel=1e-9)

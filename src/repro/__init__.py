@@ -13,6 +13,32 @@ Quick start::
     result = compile_c(C_SOURCE, pipeline="dcir")
     print(run_compiled(result).return_value)
 
+Define your own pipeline
+------------------------
+
+Pipelines are declarative :class:`PipelineSpec` values; the six paper
+pipelines are simply pre-registered specs (``PIPELINES`` is a live view of
+the registry).  Build a custom composition — an ablation, a new pass
+ordering, a workload-specific pipeline — and every entry point accepts it
+directly, or register it to address it by name::
+
+    from repro import PipelineSpec, get_pipeline, register_pipeline
+    from repro.pipeline import paper_control_passes, paper_data_passes
+
+    # dcir without memory-reducing loop fusion (a §6.3 ablation):
+    nofuse = get_pipeline("dcir").without_pass("map-fusion", name="dcir-nofuse")
+    result = compile_c(C_SOURCE, nofuse)              # pass the spec directly...
+    register_pipeline(nofuse)
+    result = compile_c(C_SOURCE, "dcir-nofuse")       # ...or by registered name
+
+Specs serialize to JSON (``spec.to_dict()`` / ``PipelineSpec.from_dict``)
+and are content-addressed by their *canonical* serialization (everything
+except the display name), so the compile cache keys custom pipelines
+correctly: ``"dcir"``, ``get_pipeline("dcir")`` and an equivalent
+hand-built spec share one cache entry, while dropping a pass or flipping a
+codegen flag yields a new one.  Sweep specs through the service layer like
+any name: ``Session().run_suite(workloads, pipelines=("dcir", nofuse))``.
+
 Evaluation-scale sweeps go through the service layer
 (:mod:`repro.service`), which memoizes compilation by content address,
 compiles batches in parallel, and runs whole workload suites::
@@ -34,21 +60,33 @@ compiles batches in parallel, and runs whole workload suites::
     session = Session(cache=cache)
     report = session.run_polybench(["gemm", "atax"], pipelines=("gcc", "dcir"))
     print(report.table())
+
+A command-line interface mirrors the library: ``python -m repro
+list-pipelines``, ``python -m repro compile``, ``python -m repro run``
+(see ``python -m repro --help``).
 """
 
 from .pipeline import (
     PIPELINES,
+    CodegenOptions,
+    CompilationReport,
     CompileResult,
     GeneratedProgram,
+    PassSpec,
     PipelineError,
+    PipelineSpec,
     RunResult,
     compile_and_run,
     compile_c,
     generate_program,
+    get_pipeline,
+    list_pipelines,
+    register_pipeline,
     run_compiled,
+    unregister_pipeline,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .service import (  # noqa: E402  (needs __version__ for cache keys)
     CompileCache,
@@ -58,11 +96,15 @@ from .service import (  # noqa: E402  (needs __version__ for cache keys)
 )
 
 __all__ = [
+    "CodegenOptions",
+    "CompilationReport",
     "CompileCache",
     "CompileResult",
     "GeneratedProgram",
     "PIPELINES",
+    "PassSpec",
     "PipelineError",
+    "PipelineSpec",
     "RunResult",
     "Session",
     "SuiteReport",
@@ -71,5 +113,9 @@ __all__ = [
     "compile_c",
     "compile_many",
     "generate_program",
+    "get_pipeline",
+    "list_pipelines",
+    "register_pipeline",
     "run_compiled",
+    "unregister_pipeline",
 ]

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Mirrors the library's pipeline API:
+
+* ``list-pipelines`` — registered pipeline names (``-v`` adds the spec
+  summary: pass counts, bridge, codegen flags);
+* ``show-pipeline NAME`` — a registered spec as JSON (edit the output and
+  feed it back via ``--spec`` to build ablations without writing Python);
+* ``compile`` — compile a C file or a named PolyBench kernel through a
+  registered pipeline or a spec JSON file, printing the generated code or
+  per-stage statistics;
+* ``run`` — compile and execute, printing the return value and timings.
+
+Examples::
+
+    python -m repro list-pipelines
+    python -m repro show-pipeline dcir > dcir.json
+    python -m repro compile --kernel gemm --size NI=8 NJ=9 NK=10 --spec ablation.json --stats
+    python -m repro run kernel.c --pipeline dcir+vec --repetitions 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from . import (
+    PipelineError,
+    PipelineSpec,
+    compile_c,
+    generate_program,
+    get_pipeline,
+    list_pipelines,
+    run_compiled,
+)
+from .pipeline.spec import PipelineLike
+
+
+def _parse_sizes(items: Optional[List[str]]) -> Dict[str, int]:
+    sizes: Dict[str, int] = {}
+    for item in items or []:
+        name, _, value = item.partition("=")
+        if not _ or not name:
+            raise SystemExit(f"Bad --size {item!r}: expected NAME=INTEGER")
+        try:
+            sizes[name] = int(value)
+        except ValueError:
+            raise SystemExit(f"Bad --size {item!r}: {value!r} is not an integer")
+    return sizes
+
+
+def _load_source(args) -> str:
+    if args.kernel is not None and args.source is not None:
+        raise SystemExit("Pass either a source file or --kernel, not both")
+    if args.kernel is not None:
+        from .workloads import get_kernel
+
+        # Unknown kernels raise PipelineError (with suggestions), which
+        # main() renders as a clean CLI error.
+        return get_kernel(args.kernel, _parse_sizes(args.size) or None)
+    if args.source is None:
+        raise SystemExit("Pass a C source file or --kernel NAME")
+    if args.source == "-":
+        return sys.stdin.read()
+    try:
+        with open(args.source, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as exc:
+        raise SystemExit(f"Cannot read {args.source!r}: {exc}")
+
+
+def _load_pipeline(args) -> PipelineLike:
+    if args.spec is not None:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                return PipelineSpec.from_dict(json.load(handle))
+        except OSError as exc:
+            raise SystemExit(f"Cannot read spec file {args.spec!r}: {exc}")
+        except (ValueError, KeyError, TypeError, PipelineError) as exc:
+            raise SystemExit(f"Bad pipeline spec in {args.spec!r}: {exc}")
+    return args.pipeline
+
+
+def _add_compile_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("source", nargs="?", help="C source file ('-' for stdin)")
+    parser.add_argument("--kernel", help="compile a named PolyBench kernel instead of a file")
+    parser.add_argument(
+        "--size", nargs="*", metavar="NAME=VALUE", help="kernel size bindings (with --kernel)"
+    )
+    parser.add_argument("--pipeline", default="dcir", help="registered pipeline name")
+    parser.add_argument(
+        "--spec", help="JSON file holding a PipelineSpec (overrides --pipeline)"
+    )
+    parser.add_argument("--function", help="function to compile (defaults to the only one)")
+
+
+def _cmd_list_pipelines(args) -> int:
+    for name in list_pipelines():
+        if args.verbose:
+            spec = get_pipeline(name)
+            shape = (
+                f"control={len(spec.control_passes)} "
+                f"bridge={'yes' if spec.bridge else 'no':<3} "
+                f"data={len(spec.data_passes)}"
+            )
+            print(f"{name:<12} {shape}  {spec.description}")
+        else:
+            print(name)
+    return 0
+
+
+def _cmd_show_pipeline(args) -> int:
+    print(json.dumps(get_pipeline(args.name).to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    program = generate_program(
+        _load_source(args), _load_pipeline(args), function=args.function
+    )
+    if args.stats:
+        print(f"pipeline: {program.pipeline}")
+        print(f"compile:  {program.compile_seconds * 1e3:.2f} ms")
+        for stage, seconds in program.stage_seconds.items():
+            print(f"  {stage:<10} {seconds * 1e3:8.2f} ms")
+        print(f"code:     {len(program.code)} bytes")
+    elif args.output is None:
+        sys.stdout.write(program.code)
+    else:
+        try:
+            with open(args.output, "w", encoding="utf-8") as output:
+                output.write(program.code)
+        except OSError as exc:
+            raise SystemExit(f"Cannot write {args.output!r}: {exc}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result = compile_c(_load_source(args), _load_pipeline(args), function=args.function)
+    run = run_compiled(result, repetitions=args.repetitions)
+    print(f"pipeline:     {result.pipeline}")
+    print(f"compile:      {result.compile_seconds * 1e3:.2f} ms")
+    print(f"run (best):   {run.seconds * 1e3:.4f} ms over {len(run.rep_seconds)} reps")
+    print(f"allocations:  {run.allocations}")
+    print(f"return value: {run.return_value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Compile C kernels through declarative DCIR pipelines.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list-pipelines", help="list registered pipeline names"
+    )
+    list_parser.add_argument("-v", "--verbose", action="store_true", help="show spec summaries")
+    list_parser.set_defaults(func=_cmd_list_pipelines)
+
+    show_parser = subparsers.add_parser(
+        "show-pipeline", help="print a registered pipeline spec as JSON"
+    )
+    show_parser.add_argument("name", help="registered pipeline name")
+    show_parser.set_defaults(func=_cmd_show_pipeline)
+
+    compile_parser = subparsers.add_parser(
+        "compile", help="compile a kernel, printing generated Python code"
+    )
+    _add_compile_arguments(compile_parser)
+    compile_parser.add_argument("--stats", action="store_true", help="print per-stage statistics")
+    compile_parser.add_argument("-o", "--output", help="write generated code to a file")
+    compile_parser.set_defaults(func=_cmd_compile)
+
+    run_parser = subparsers.add_parser("run", help="compile and execute a kernel")
+    _add_compile_arguments(run_parser)
+    run_parser.add_argument(
+        "--repetitions", type=int, default=1, help="best-of-N execution (default 1)"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except PipelineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

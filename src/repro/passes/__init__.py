@@ -1,9 +1,11 @@
-"""Control-centric passes and the pass manager.
+"""Control-centric passes, the pass manager and the pass registry.
 
 The standard pipelines (``gcc``, ``clang``, ``mlir`` and the MLIR half of
 ``dcir``) are assembled from these passes; see
 :func:`control_centric_pipeline` for the canonical ordering used by the
-paper's §4 conversion pipeline.
+paper's §4 conversion pipeline.  Passes are also registered by name in
+:data:`CONTROL_PASSES` so declarative pipeline specs
+(:class:`repro.pipeline.PipelineSpec`) can reference them.
 """
 
 from .canonicalize import Canonicalize, constant_value
@@ -13,6 +15,7 @@ from .inlining import Inlining
 from .licm import LoopInvariantCodeMotion
 from .memref_dce import DeadMemoryElimination
 from .pass_manager import Pass, PassManager, PassPipelineReport, PassStatistics
+from .registry import CONTROL_PASSES, list_control_passes, register_control_pass
 from .scalar_replacement import ScalarReplacement
 
 
@@ -35,6 +38,7 @@ def control_centric_pipeline(
 
 
 __all__ = [
+    "CONTROL_PASSES",
     "Canonicalize",
     "CommonSubexpressionElimination",
     "DeadCodeElimination",
@@ -48,4 +52,6 @@ __all__ = [
     "ScalarReplacement",
     "constant_value",
     "control_centric_pipeline",
+    "list_control_passes",
+    "register_control_pass",
 ]

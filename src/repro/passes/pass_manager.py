@@ -1,31 +1,31 @@
 """Pass infrastructure for the MLIR-like IR.
 
-Mirrors MLIR's homogenized pass infrastructure at a small scale: passes are
-objects with a ``run_on_module`` method returning whether they changed the
-IR, and a :class:`PassManager` runs an ordered list of them, optionally
-repeating until a fixed point, while recording per-pass statistics that the
-compile-time benchmark (§7.2) reports.
+A thin layer over the unified infrastructure in :mod:`repro.passbase`:
+:class:`Pass` keeps the MLIR-flavoured ``run_on_module`` hook name and
+:class:`PassManager` the ``verify_each`` convenience, while the report
+types are the shared ones (``PassPipelineReport``/``PassStatistics`` are
+aliases of :class:`~repro.passbase.StageReport`/
+:class:`~repro.passbase.PassRecord`).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Sequence
 
 from ..ir.core import Operation
 from ..ir.verifier import verify
+from ..passbase import PassBase, PassRecord, PassRunner, StageReport
+
+#: Backwards-compatible aliases for the historical control-centric names.
+PassStatistics = PassRecord
+PassPipelineReport = StageReport
 
 
-class Pass:
-    """Base class for IR passes."""
+class Pass(PassBase):
+    """Base class for control-centric IR passes."""
 
-    #: Human-readable pass name (defaults to the class name).
-    NAME: Optional[str] = None
-
-    @property
-    def name(self) -> str:
-        return self.NAME or type(self).__name__
+    def run(self, target: Operation) -> bool:
+        return self.run_on_module(target)
 
     def run_on_module(self, module: Operation) -> bool:
         """Transform ``module`` in place; return True if anything changed."""
@@ -35,44 +35,7 @@ class Pass:
         return f"<Pass {self.name}>"
 
 
-@dataclass
-class PassStatistics:
-    """Execution record of a single pass invocation."""
-
-    name: str
-    changed: bool
-    seconds: float
-
-
-@dataclass
-class PassPipelineReport:
-    """Aggregated result of running a pass pipeline."""
-
-    statistics: List[PassStatistics] = field(default_factory=list)
-
-    @property
-    def total_seconds(self) -> float:
-        return sum(stat.seconds for stat in self.statistics)
-
-    @property
-    def changed(self) -> bool:
-        return any(stat.changed for stat in self.statistics)
-
-    def by_pass(self) -> Dict[str, float]:
-        """Total seconds spent per pass name."""
-        totals: Dict[str, float] = {}
-        for stat in self.statistics:
-            totals[stat.name] = totals.get(stat.name, 0.0) + stat.seconds
-        return totals
-
-    def summary(self) -> str:
-        lines = [f"{stat.name:<30} changed={stat.changed} {stat.seconds * 1e3:8.2f} ms"
-                 for stat in self.statistics]
-        lines.append(f"{'total':<30} {'':14} {self.total_seconds * 1e3:8.2f} ms")
-        return "\n".join(lines)
-
-
-class PassManager:
+class PassManager(PassRunner):
     """Runs an ordered sequence of passes over a module."""
 
     def __init__(
@@ -81,26 +44,13 @@ class PassManager:
         verify_each: bool = False,
         max_iterations: int = 1,
     ):
-        self.passes = list(passes)
-        self.verify_each = verify_each
-        self.max_iterations = max(1, max_iterations)
+        super().__init__(
+            passes,
+            max_iterations=max_iterations,
+            validate=verify if verify_each else None,
+            stage="control",
+        )
 
-    def add(self, pass_obj: Pass) -> "PassManager":
-        self.passes.append(pass_obj)
-        return self
-
-    def run(self, module: Operation) -> PassPipelineReport:
-        report = PassPipelineReport()
-        for _ in range(self.max_iterations):
-            iteration_changed = False
-            for pass_obj in self.passes:
-                start = time.perf_counter()
-                changed = bool(pass_obj.run_on_module(module))
-                elapsed = time.perf_counter() - start
-                report.statistics.append(PassStatistics(pass_obj.name, changed, elapsed))
-                iteration_changed = iteration_changed or changed
-                if self.verify_each:
-                    verify(module)
-            if not iteration_changed:
-                break
-        return report
+    @property
+    def verify_each(self) -> bool:
+        return self.validate is not None

@@ -1,8 +1,11 @@
-"""The compiler pipelines compared in the paper's evaluation (§7).
+"""Spec-driven compilation: frontend → control passes → (bridge → data
+passes →) codegen.
 
 All pipelines start from the same C source and end in executable Python;
 they differ only in which optimizations run — mirroring the paper's
-methodology of using the same flags for every compiler:
+methodology of using the same flags for every compiler.  The six
+compositions of the evaluation (§7) ship pre-registered
+(:mod:`repro.pipeline.registry`):
 
 ========== ============================== ======== ============================
 pipeline   control-centric passes          bridge   data-centric passes / codegen
@@ -15,13 +18,20 @@ pipeline   control-centric passes          bridge   data-centric passes / codege
 ``dcir+vec`` as dcir                       yes      as dcir, vectorized maps
 ========== ============================== ======== ============================
 
+Every entry point accepts a registered pipeline *name* or a
+:class:`~repro.pipeline.spec.PipelineSpec` value, so custom compositions
+(ablations, new orderings) are first-class — they compile, cache and batch
+exactly like the built-in six.
+
 The module is split into a *pure* compilation stage and artifact
 construction so the service layer (:mod:`repro.service`) can cache the
 former and cheaply redo the latter:
 
 * :func:`generate_program` runs frontend → passes → (bridge →) codegen and
   returns a :class:`GeneratedProgram` — the emitted Python source plus
-  serializable statistics.  No executable objects are created.
+  serializable statistics, including a per-stage
+  :class:`~repro.passbase.CompilationReport`.  No executable objects are
+  created.
 * :meth:`GeneratedProgram.to_result` / :func:`load_runner` turn generated
   code into a live :class:`CompileResult`; :func:`result_from_payload`
   rehydrates one from a cached payload without re-running any pass.
@@ -43,15 +53,17 @@ from ..codegen import (
 from ..conversion import mlir_to_sdfg, module_function_names, require_function
 from ..errors import PipelineError
 from ..frontend import compile_c_to_mlir
-from ..passes import control_centric_pipeline
+from ..passbase import CompilationReport, PassRunner, StageReport
+from ..passes import CONTROL_PASSES
 from ..sdfg import SDFG
-from ..transforms import data_centric_pipeline
-
-PIPELINES = ("gcc", "clang", "dace", "mlir", "dcir", "dcir+vec")
+from ..transforms import DATA_PASSES
+from .registry import PIPELINES, resolve_pipeline
+from .spec import PipelineLike, PipelineSpec, pipeline_label
 
 #: Version tag of the serialized program payload; bump when the payload
 #: layout or the semantics of generated code change incompatibly.
-PAYLOAD_VERSION = 1
+#: (v2: declarative-pipeline payloads carry the spec and stage timings.)
+PAYLOAD_VERSION = 2
 
 
 @dataclass
@@ -66,6 +78,10 @@ class CompileResult:
     mlir_module: object = None
     compile_seconds: float = 0.0
     optimization_report: object = None
+    #: Declarative spec of the pipeline that produced this result.
+    spec: Optional[PipelineSpec] = None
+    #: Per-stage compilation report (frontend/control/bridge/data/codegen).
+    report: Optional[CompilationReport] = None
     #: True when this result was rehydrated from the compile cache rather
     #: than produced by a fresh run of the compilation pipeline.
     cache_hit: bool = False
@@ -74,6 +90,11 @@ class CompileResult:
 
     def run(self, **kwargs) -> Dict:
         return self.runner(**kwargs)
+
+    @property
+    def stage_seconds(self) -> Dict[str, float]:
+        """Per-stage compile-time breakdown (empty when unknown)."""
+        return self.report.stage_seconds if self.report is not None else {}
 
     def movement_report(self, symbols: Optional[Dict[str, float]] = None) -> Optional[MovementReport]:
         if self.sdfg is not None:
@@ -94,12 +115,20 @@ class CompileResult:
 
 @dataclass
 class RunResult:
-    """Timing and output of executing a compiled program."""
+    """Timing and output of executing a compiled program.
+
+    ``seconds`` is the best-of-N runtime and ``outputs`` comes from that
+    same best repetition (every repetition of a deterministic program
+    computes identical outputs; recording the pair keeps them consistent
+    even for programs that are not).  ``rep_seconds`` carries the
+    individual repetition timings in execution order.
+    """
 
     pipeline: str
     seconds: float
     outputs: Dict
     allocations: int = 0
+    rep_seconds: List[float] = field(default_factory=list)
 
     @property
     def return_value(self):
@@ -123,6 +152,15 @@ class GeneratedProgram:
     sdfg: Optional[SDFG] = None
     mlir_module: object = None
     optimization_report: object = None
+    #: Declarative spec of the pipeline that produced this program.
+    spec: Optional[PipelineSpec] = None
+    #: Per-stage compilation report (frontend/control/bridge/data/codegen).
+    report: Optional[CompilationReport] = None
+
+    @property
+    def stage_seconds(self) -> Dict[str, float]:
+        """Per-stage compile-time breakdown (empty when unknown)."""
+        return self.report.stage_seconds if self.report is not None else {}
 
     def to_payload(self) -> Dict:
         """Serializable (JSON-safe) snapshot for the content-addressed cache."""
@@ -146,6 +184,8 @@ class GeneratedProgram:
             "compile_seconds": self.compile_seconds,
             "movement": movement,
             "eliminated_containers": eliminated,
+            "spec": self.spec.to_dict() if self.spec is not None else None,
+            "stage_seconds": self.stage_seconds,
         }
 
     def to_result(self) -> CompileResult:
@@ -159,6 +199,8 @@ class GeneratedProgram:
             mlir_module=self.mlir_module,
             compile_seconds=self.compile_seconds,
             optimization_report=self.optimization_report,
+            spec=self.spec,
+            report=self.report,
         )
 
 
@@ -172,8 +214,8 @@ def result_from_payload(payload: Dict) -> CompileResult:
 
     Only the generated code is re-``exec``-ed — no frontend, pass or codegen
     work runs.  The rehydrated result has no live SDFG/MLIR objects; the
-    movement report and eliminated-container list recorded at compile time
-    stand in for them.
+    movement report, eliminated-container list and stage timings recorded
+    at compile time stand in for them.
     """
     movement = None
     if payload.get("movement") is not None:
@@ -185,12 +227,22 @@ def result_from_payload(payload: Dict) -> CompileResult:
             allocated_bytes=snapshot.get("allocated_bytes", 0.0),
             per_container=dict(snapshot.get("per_container", {})),
         )
+    spec = None
+    if payload.get("spec") is not None:
+        spec = PipelineSpec.from_dict(payload["spec"])
+    report = None
+    if payload.get("stage_seconds"):
+        report = CompilationReport(pipeline=payload["pipeline"])
+        for stage, seconds in payload["stage_seconds"].items():
+            report.add_stage(stage, seconds)
     return CompileResult(
         pipeline=payload["pipeline"],
         function=payload.get("function"),
         code=payload["code"],
         runner=load_runner(payload["code"], name=f"<cached:{payload['pipeline']}>"),
         compile_seconds=payload.get("compile_seconds", 0.0),
+        spec=spec,
+        report=report,
         cache_hit=True,
         _cached_movement=movement,
         _cached_eliminated=list(payload.get("eliminated_containers", [])),
@@ -202,88 +254,134 @@ def available_functions(module) -> List[str]:
     return module_function_names(module)
 
 
+def _build_control_runner(spec: PipelineSpec) -> PassRunner:
+    return PassRunner(
+        [CONTROL_PASSES.build(p.name, p.options) for p in spec.control_passes],
+        max_iterations=spec.control_max_iterations,
+        stage="control",
+    )
+
+
+def _build_data_runner(spec: PipelineSpec) -> PassRunner:
+    return PassRunner(
+        [DATA_PASSES.build(p.name, p.options) for p in spec.data_passes],
+        max_iterations=spec.data_max_iterations,
+        stage="data",
+    )
+
+
 def generate_program(
-    source: str, pipeline: str = "dcir", function: Optional[str] = None
+    source: str, pipeline: PipelineLike = "dcir", function: Optional[str] = None
 ) -> GeneratedProgram:
     """Run the pure compilation stages for one pipeline.
 
-    Frontend → control-centric passes → (SDFG bridge → data-centric passes →)
-    code generation, producing a :class:`GeneratedProgram`.  This performs no
+    ``pipeline`` is a registered name or a :class:`PipelineSpec`.  Frontend →
+    control-centric passes → (SDFG bridge → data-centric passes →) code
+    generation, producing a :class:`GeneratedProgram`.  This performs no
     ``exec`` and builds no callables, so the service layer can run it in a
     worker process and ship the payload back to the parent.
     """
-    if pipeline not in PIPELINES:
-        raise PipelineError(f"Unknown pipeline {pipeline!r}; choose one of {PIPELINES}")
+    spec = resolve_pipeline(pipeline).validate()
+    label = spec.label
+    report = CompilationReport(pipeline=label)
     start = time.perf_counter()
-    module = compile_c_to_mlir(source)
+
+    stage_start = time.perf_counter()
+    module = compile_c_to_mlir(source, **spec.frontend_options)
     require_function(module, function)
+    report.add_stage("frontend", time.perf_counter() - stage_start)
 
-    if pipeline in ("gcc", "clang", "mlir", "dcir", "dcir+vec"):
-        include_memref_dce = pipeline != "clang"
-        control_report = control_centric_pipeline(include_memref_dce=include_memref_dce).run(module)
-    else:
-        control_report = None  # the DaCe C frontend performs no control-centric passes
+    control_report: Optional[StageReport] = None
+    if spec.control_passes:
+        control_report = _build_control_runner(spec).run(module)
+        report.stages.append(control_report)
 
-    if pipeline in ("gcc", "clang", "mlir"):
-        native = pipeline in ("gcc", "clang")
+    if not spec.bridge:
+        stage_start = time.perf_counter()
         code = generate_mlir_code(
-            module, function=function, native_scalars=native, preallocate=native
+            module,
+            function=function,
+            native_scalars=spec.codegen.native_scalars,
+            preallocate=spec.codegen.preallocate,
         )
+        report.add_stage("codegen", time.perf_counter() - stage_start)
         return GeneratedProgram(
-            pipeline=pipeline,
+            pipeline=label,
             function=function,
             code=code,
             compile_seconds=time.perf_counter() - start,
             mlir_module=module,
             optimization_report=control_report,
+            spec=spec,
+            report=report,
         )
 
     # Data-centric pipelines: bridge to the SDFG IR and optimize there.
+    stage_start = time.perf_counter()
     sdfg = mlir_to_sdfg(module, function=function)
-    data_report = data_centric_pipeline().apply(sdfg)
-    code = generate_sdfg_code(sdfg, vectorize=pipeline == "dcir+vec")
+    report.add_stage("bridge", time.perf_counter() - stage_start)
+    data_report = _build_data_runner(spec).run(sdfg)
+    report.stages.append(data_report)
+    stage_start = time.perf_counter()
+    code = generate_sdfg_code(sdfg, vectorize=spec.codegen.vectorize)
+    report.add_stage("codegen", time.perf_counter() - stage_start)
     return GeneratedProgram(
-        pipeline=pipeline,
+        pipeline=label,
         function=function,
         code=code,
         compile_seconds=time.perf_counter() - start,
         sdfg=sdfg,
         mlir_module=module,
         optimization_report=data_report,
+        spec=spec,
+        report=report,
     )
 
 
-def compile_c(source: str, pipeline: str = "dcir", function: Optional[str] = None) -> CompileResult:
-    """Compile C source through the requested pipeline.
+def compile_c(
+    source: str, pipeline: PipelineLike = "dcir", function: Optional[str] = None
+) -> CompileResult:
+    """Compile C source through the requested pipeline (name or spec).
 
     This is the main public entry point of the library: it reproduces the
     paper's Fig. 4 conversion pipeline for ``dcir`` and the baseline paths
-    for the other pipeline names.  For cached and batched compilation see
-    :mod:`repro.service`.
+    for the other pipeline names, and compiles any custom
+    :class:`PipelineSpec` the same way.  For cached and batched compilation
+    see :mod:`repro.service`.
     """
     return generate_program(source, pipeline, function=function).to_result()
 
 
 def run_compiled(result: CompileResult, repetitions: int = 1, **kwargs) -> RunResult:
-    """Execute a compiled program, returning the best-of-N runtime."""
+    """Execute a compiled program, returning the best-of-N runtime.
+
+    The reported ``outputs`` (and the allocation count derived from them)
+    come from the same repetition as the reported ``seconds``; per-rep
+    timings are returned in ``RunResult.rep_seconds``.
+    """
     best = float("inf")
     outputs: Dict = {}
+    rep_seconds: List[float] = []
     for _ in range(max(1, repetitions)):
         start = time.perf_counter()
-        outputs = result.run(**kwargs)
+        current = result.run(**kwargs)
         elapsed = time.perf_counter() - start
-        best = min(best, elapsed)
+        rep_seconds.append(elapsed)
+        if elapsed < best:
+            best = elapsed
+            outputs = current
     return RunResult(
         pipeline=result.pipeline,
         seconds=best,
         outputs=outputs,
         allocations=int(outputs.get("__allocations", 0)),
+        rep_seconds=rep_seconds,
     )
 
 
 def compile_and_run(
-    source: str, pipeline: str = "dcir", repetitions: int = 1, function: Optional[str] = None,
-    **kwargs,
+    source: str, pipeline: PipelineLike = "dcir", repetitions: int = 1,
+    function: Optional[str] = None, **kwargs,
 ) -> RunResult:
     """Convenience wrapper: compile then run."""
     return run_compiled(compile_c(source, pipeline, function=function), repetitions, **kwargs)

@@ -1,0 +1,267 @@
+"""Declarative pipeline specifications.
+
+A :class:`PipelineSpec` is a first-class, serializable description of one
+complete compilation pipeline — the paper's central claim that
+control-centric and data-centric optimization are *composable* stages made
+into a value:
+
+* frontend options (keyword arguments of
+  :func:`repro.frontend.compile_c_to_mlir`),
+* an ordered list of control-centric passes by registered name
+  (:data:`repro.passes.CONTROL_PASSES`), each with per-pass options,
+* whether to cross the MLIR → SDFG *bridge* (Fig. 4's hand-off point),
+* an ordered list of data-centric passes by registered name
+  (:data:`repro.transforms.DATA_PASSES`),
+* codegen options (``native_scalars``/``preallocate`` for the MLIR
+  backend, ``vectorize`` for the SDFG backend).
+
+Specs serialize to plain JSON-stable dictionaries (:meth:`PipelineSpec.to_dict`
+/ :meth:`PipelineSpec.from_dict`); the *canonical* serialization — every
+field except the display name and description — is the content identity
+used by the compile cache, so two specs describing the same compilation
+share a cache entry regardless of what they are called, and any change to
+the pass list, pass options or codegen flags produces a new content
+address.
+
+Every public entry point (``compile_c``, ``generate_program``,
+``CompileCache.get_or_compile``, ``compile_many``, ``Session``) accepts a
+registered pipeline name *or* a spec; :func:`pipeline_label` maps either to
+a display string.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from ..errors import PipelineError
+
+
+@dataclass
+class PassSpec:
+    """One pass invocation inside a spec: a registered name plus options.
+
+    Options are passed to the pass constructor as keyword arguments when
+    the pipeline is built.
+    """
+
+    name: str
+    options: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, item: "PassLike") -> "PassSpec":
+        """Coerce a name, ``(name, options)`` pair or dict into a spec.
+
+        Always returns a fresh instance — ``PipelineSpec.__post_init__``
+        routes every pass list through here, so two specs never share
+        ``PassSpec`` objects (or their options dicts), even when one is
+        derived from the other's lists.
+        """
+        if isinstance(item, PassSpec):
+            return cls(name=item.name, options=copy.deepcopy(dict(item.options)))
+        if isinstance(item, str):
+            return cls(name=item)
+        if isinstance(item, Mapping):
+            return cls(name=item["name"], options=dict(item.get("options") or {}))
+        if isinstance(item, Sequence) and len(item) == 2:
+            return cls(name=item[0], options=dict(item[1] or {}))
+        raise PipelineError(f"Cannot interpret {item!r} as a pass specification")
+
+    def to_dict(self) -> Dict:
+        # Deep-copied so serialized snapshots (and spec copies built from
+        # them) never alias nested mutable option values.
+        return {"name": self.name, "options": copy.deepcopy(dict(self.options))}
+
+
+PassLike = Union[PassSpec, str, Mapping, Sequence]
+
+
+@dataclass
+class CodegenOptions:
+    """Backend code-generation options.
+
+    ``native_scalars`` and ``preallocate`` affect the MLIR (control-centric)
+    backend; ``vectorize`` affects the SDFG (data-centric) backend.  Options
+    not applicable to the selected backend are ignored.
+    """
+
+    native_scalars: bool = False
+    preallocate: bool = False
+    vectorize: bool = False
+
+    def to_dict(self) -> Dict:
+        return {
+            "native_scalars": bool(self.native_scalars),
+            "preallocate": bool(self.preallocate),
+            "vectorize": bool(self.vectorize),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[Mapping]) -> "CodegenOptions":
+        data = data or {}
+        return cls(
+            native_scalars=bool(data.get("native_scalars", False)),
+            preallocate=bool(data.get("preallocate", False)),
+            vectorize=bool(data.get("vectorize", False)),
+        )
+
+
+@dataclass
+class PipelineSpec:
+    """Declarative description of one complete compilation pipeline."""
+
+    name: Optional[str] = None
+    description: str = ""
+    frontend_options: Dict[str, object] = field(default_factory=dict)
+    control_passes: List[PassSpec] = field(default_factory=list)
+    control_max_iterations: int = 3
+    bridge: bool = False
+    data_passes: List[PassSpec] = field(default_factory=list)
+    data_max_iterations: int = 3
+    codegen: CodegenOptions = field(default_factory=CodegenOptions)
+
+    def __post_init__(self):
+        # Defensively copy every mutable field: two specs must never share
+        # state, or mutating one would silently change the other's cache
+        # identity (PassSpec.of always returns fresh instances).
+        self.frontend_options = copy.deepcopy(dict(self.frontend_options))
+        self.control_passes = [PassSpec.of(item) for item in self.control_passes]
+        self.data_passes = [PassSpec.of(item) for item in self.data_passes]
+        if isinstance(self.codegen, Mapping):
+            self.codegen = CodegenOptions.from_dict(self.codegen)
+        else:
+            self.codegen = replace(self.codegen)
+        if self.data_passes and not self.bridge:
+            raise PipelineError(
+                "A pipeline with data-centric passes must set bridge=True "
+                "(data-centric passes run on the SDFG IR behind the bridge)"
+            )
+
+    # -- serialization ---------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Full JSON-stable serialization (round-trips via :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            **self.cache_basis(),
+        }
+
+    def cache_basis(self) -> Dict:
+        """Canonical content identity: everything except name/description.
+
+        This is the cache-key basis — a registered name and an equivalent
+        anonymous spec content-address identically, while any change to
+        passes, options or codegen flags yields a different address.
+        """
+        return {
+            "frontend": copy.deepcopy(dict(self.frontend_options)),
+            "control_passes": [p.to_dict() for p in self.control_passes],
+            "control_max_iterations": int(self.control_max_iterations),
+            "bridge": bool(self.bridge),
+            "data_passes": [p.to_dict() for p in self.data_passes],
+            "data_max_iterations": int(self.data_max_iterations),
+            "codegen": self.codegen.to_dict(),
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.cache_basis(), sort_keys=True, separators=(",", ":"))
+
+    def content_id(self) -> str:
+        """SHA-256 of the canonical serialization (stable across processes)."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PipelineSpec":
+        if not isinstance(data, Mapping):
+            raise PipelineError(
+                f"A pipeline spec must deserialize from a mapping, got {type(data).__name__}"
+            )
+        return cls(
+            name=data.get("name"),
+            description=data.get("description", ""),
+            frontend_options=dict(data.get("frontend") or {}),
+            control_passes=[PassSpec.of(p) for p in data.get("control_passes") or []],
+            control_max_iterations=int(data.get("control_max_iterations", 3)),
+            bridge=bool(data.get("bridge", False)),
+            data_passes=[PassSpec.of(p) for p in data.get("data_passes") or []],
+            data_max_iterations=int(data.get("data_max_iterations", 3)),
+            codegen=CodegenOptions.from_dict(data.get("codegen")),
+        )
+
+    # -- convenience -----------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Display name: the registered name, or a content-derived tag."""
+        return self.name or f"custom-{self.content_id()[:12]}"
+
+    def copy(self) -> "PipelineSpec":
+        """Deep, independent copy (mutating it never affects the original)."""
+        return PipelineSpec.from_dict(self.to_dict())
+
+    def derive(self, **changes) -> "PipelineSpec":
+        """Deep copy with fields replaced — the ablation/sweep building block.
+
+        The copy shares no mutable state with its parent, so editing its
+        pass lists, options or codegen flags in place is safe.  Unless
+        explicitly overridden, it is anonymous (name and description
+        cleared): a derived pipeline is a *different* pipeline and must
+        not content-alias its parent's registered name.
+        """
+        changes.setdefault("name", None)
+        changes.setdefault("description", "")
+        return replace(self.copy(), **changes)
+
+    def without_pass(self, pass_name: str, **changes) -> "PipelineSpec":
+        """Ablation helper: a derived spec with every ``pass_name`` removed.
+
+        Raises :class:`PipelineError` when the spec contains no such pass —
+        a typo'd ablation would otherwise content-alias its parent and
+        silently report the parent's (cached) results under its own label.
+        """
+        control = [p for p in self.control_passes if p.name != pass_name]
+        data = [p for p in self.data_passes if p.name != pass_name]
+        if len(control) == len(self.control_passes) and len(data) == len(self.data_passes):
+            from ..passbase import suggest
+
+            present = [p.name for p in self.control_passes + self.data_passes]
+            raise PipelineError(
+                f"Pipeline {self.label!r} contains no pass {pass_name!r}; "
+                + suggest(pass_name, present, "passes in this pipeline")
+            )
+        return self.derive(control_passes=control, data_passes=data, **changes)
+
+    def validate(self) -> "PipelineSpec":
+        """Check pass names against the registries; raise :class:`PipelineError`.
+
+        Called by ``generate_program`` before any compilation stage runs so
+        misspelled pass names fail fast with a closest-match suggestion.
+        """
+        from ..passes import CONTROL_PASSES
+        from ..transforms import DATA_PASSES
+
+        for pass_spec in self.control_passes:
+            CONTROL_PASSES.get(pass_spec.name)
+        for pass_spec in self.data_passes:
+            DATA_PASSES.get(pass_spec.name)
+        if self.control_max_iterations < 1 or self.data_max_iterations < 1:
+            raise PipelineError("max_iterations fields must be >= 1")
+        try:
+            self.canonical_json()
+        except (TypeError, ValueError) as exc:
+            raise PipelineError(
+                "Pipeline options must be JSON-serializable (they form the "
+                f"cache key and the on-disk payload): {exc}"
+            ) from exc
+        return self
+
+
+#: Anything the public entry points accept as a pipeline designator.
+PipelineLike = Union[str, PipelineSpec]
+
+
+def pipeline_label(pipeline: PipelineLike) -> str:
+    """Display label of a pipeline name or spec."""
+    return pipeline if isinstance(pipeline, str) else pipeline.label

@@ -4,9 +4,11 @@ The paper's evaluation (§7) compiles the same kernels through six pipelines
 over and over; this subsystem makes such sweeps cheap and scalable:
 
 * :class:`CompileCache` — content-addressed memoization (SHA-256 of
-  normalized source + pipeline + function + library version) with an
-  in-memory LRU and an optional on-disk store (``REPRO_CACHE_DIR``),
-  rehydrating results from generated code without re-running any pass;
+  normalized source + the pipeline spec's canonical serialization +
+  function + library version, so custom :class:`~repro.PipelineSpec`
+  pipelines content-address correctly) with an in-memory LRU and an
+  optional on-disk store (``REPRO_CACHE_DIR``), rehydrating results from
+  generated code without re-running any pass;
 * :func:`compile_many` — parallel batch compilation over
   ``concurrent.futures`` executors with per-item error capture;
 * :class:`Session` — a suite runner that compiles and runs whole workload

@@ -8,6 +8,17 @@ CPU is available (compilation is CPU-bound pure Python, so threads cannot
 exceed one core's throughput under the GIL) — and captures per-item errors
 so one failing kernel never aborts a sweep.
 
+Requests name pipelines by registered string *or* carry a full
+:class:`~repro.pipeline.PipelineSpec`.  Names are resolved to specs in the
+parent before submission — the registry is per-process state, so this is
+what lets user-*registered* pipelines work under a process pool: workers
+receive the serialized spec, not a name they could not resolve.  The same
+caveat applies one level down to *pass* names: a spec referencing a pass
+registered at runtime (rather than at ``import repro``) resolves in fork
+workers but not under a spawn start method, where the worker re-imports a
+registry that never saw the registration — use ``executor="thread"`` or
+``"serial"`` for such specs on spawn platforms.
+
 Workers run only the *pure* stage (:func:`repro.pipeline.generate_program`)
 and return the serializable payload; the parent rehydrates results and
 warms its compile cache, which is also how results cross process
@@ -20,25 +31,31 @@ import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from ..pipeline import CompileResult, generate_program, result_from_payload
+from ..errors import PipelineError
+from ..pipeline import CompileResult, generate_program, resolve_pipeline, result_from_payload
+from ..pipeline.spec import PipelineLike, pipeline_label
 from .cache import CompileCache, cache_key
 
 
 @dataclass(frozen=True)
 class CompileRequest:
-    """One item of a batch: a (source, pipeline, function) triple."""
+    """One item of a batch: a (source, pipeline, function) triple.
+
+    ``pipeline`` is a registered pipeline name or a
+    :class:`~repro.pipeline.PipelineSpec`.
+    """
 
     source: str
-    pipeline: str = "dcir"
+    pipeline: PipelineLike = "dcir"
     function: Optional[str] = None
     name: Optional[str] = None  # display label; defaults to the pipeline name
 
     @property
     def label(self) -> str:
-        return self.name if self.name is not None else self.pipeline
+        return self.name if self.name is not None else pipeline_label(self.pipeline)
 
 
 @dataclass
@@ -85,7 +102,7 @@ def default_executor() -> str:
 def _compile_payload(request: CompileRequest) -> Dict:
     """Worker: run the pure compile stage, returning payload or error info.
 
-    Must stay module-level and return only JSON-ish data so it works
+    Must stay module-level and return only pickle-friendly data so it works
     identically under ``ProcessPoolExecutor`` (pickled across the fork)
     and ``ThreadPoolExecutor``.
     """
@@ -123,10 +140,29 @@ def compile_many(
     requests = [as_request(item) for item in items]
     outcomes: List[Optional[BatchOutcome]] = [None] * len(requests)
 
+    # Resolve pipeline designators and cache keys up front: unknown names
+    # and unserializable specs fail per-item here (not inside a worker, and
+    # never aborting the batch), and resolved specs travel to workers by
+    # value, so pipelines registered only in this process still batch.
+    resolved: List[Optional[CompileRequest]] = [None] * len(requests)
+    keys: List[Optional[str]] = [None] * len(requests)
     pending: List[int] = []
     for index, request in enumerate(requests):
+        try:
+            spec = resolve_pipeline(request.pipeline)
+            if cache is not None:
+                keys[index] = cache_key(request.source, spec, request.function)
+        except (PipelineError, TypeError, ValueError) as exc:
+            outcomes[index] = BatchOutcome(
+                request=request,
+                error=str(exc),
+                error_type=type(exc).__name__,
+                error_traceback=traceback.format_exc(),
+            )
+            continue
+        resolved[index] = replace(request, pipeline=spec)
         if cache is not None:
-            payload = cache.lookup(cache_key(request.source, request.pipeline, request.function))
+            payload = cache.lookup(keys[index])
             if payload is not None:
                 outcomes[index] = BatchOutcome(request=request, result=result_from_payload(payload))
                 continue
@@ -141,7 +177,7 @@ def compile_many(
         if report["ok"]:
             payload = report["payload"]
             if cache is not None:
-                cache.store(cache_key(request.source, request.pipeline, request.function), payload)
+                cache.store(keys[index], payload)
             result = result_from_payload(payload)
             result.cache_hit = False  # freshly compiled, merely shipped as a payload
             outcomes[index] = BatchOutcome(request=request, result=result, seconds=report["seconds"])
@@ -156,7 +192,7 @@ def compile_many(
 
     if kind == "serial" or len(pending) <= 1:
         for index in pending:
-            finish(index, _compile_payload(requests[index]))
+            finish(index, _compile_payload(resolved[index]))
     else:
         pool_cls = ProcessPoolExecutor if kind == "process" else ThreadPoolExecutor
         workers = max_workers or min(len(pending), os.cpu_count() or 1)
@@ -165,12 +201,22 @@ def compile_many(
         except (OSError, PermissionError):
             # Sandboxes without fork/spawn support: degrade to serial.
             for index in pending:
-                finish(index, _compile_payload(requests[index]))
+                finish(index, _compile_payload(resolved[index]))
         else:
             with pool:
-                futures = {
-                    pool.submit(_compile_payload, requests[index]): index for index in pending
-                }
+                futures = {}
+                degraded = False
+                for index in pending:
+                    if not degraded:
+                        try:
+                            futures[pool.submit(_compile_payload, resolved[index])] = index
+                            continue
+                        except (OSError, PermissionError, RuntimeError):
+                            # Worker creation is lazy: a sandbox that denies
+                            # fork/spawn fails here, not at pool construction.
+                            # Degrade the rest of the batch to serial.
+                            degraded = True
+                    finish(index, _compile_payload(resolved[index]))
                 for future, index in futures.items():
                     try:
                         finish(index, future.result())
@@ -185,4 +231,7 @@ def compile_many(
                             error_traceback=traceback.format_exc(),
                         )
 
-    return [outcome for outcome in outcomes if outcome is not None]
+    missing = [index for index, outcome in enumerate(outcomes) if outcome is None]
+    if missing:  # pragma: no cover - every path above populates its index
+        raise RuntimeError(f"compile_many left outcomes unset at indices {missing}")
+    return outcomes

@@ -3,8 +3,13 @@
 Compiling the same kernel through the same pipeline always produces the
 same generated code (codegen is deterministic — a regression-tested
 invariant), so compilation results can be memoized by content address: the
-SHA-256 of the *normalized* C source, the pipeline name, the requested
-function and the library version.  Two stores back the cache:
+SHA-256 of the *normalized* C source, the pipeline's canonical spec
+serialization, the requested function and the library version.  Keying on
+the :meth:`~repro.pipeline.PipelineSpec.cache_basis` rather than a name
+means custom (even anonymous) pipeline specs are content-addressed
+correctly: a registered name and an equivalent hand-built spec share one
+entry, while any change to the pass list, pass options or codegen flags
+produces a new address.  Two stores back the cache:
 
 * an in-memory LRU holding serialized payloads (never live objects — every
   hit rehydrates a fresh :class:`~repro.pipeline.CompileResult`, so cached
@@ -22,13 +27,19 @@ import json
 import os
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
 from .. import __version__
-from ..pipeline import CompileResult, generate_program, result_from_payload
+from ..pipeline import (
+    CompileResult,
+    generate_program,
+    resolve_pipeline,
+    result_from_payload,
+)
 from ..pipeline.pipelines import PAYLOAD_VERSION
+from ..pipeline.spec import PipelineLike
 
 #: Environment variable naming the default on-disk cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -46,12 +57,18 @@ def normalize_source(source: str) -> str:
     return "\n".join(line.rstrip() for line in lines).strip("\n")
 
 
-def cache_key(source: str, pipeline: str, function: Optional[str] = None) -> str:
-    """Content address of one compilation request."""
+def cache_key(source: str, pipeline: PipelineLike = "dcir", function: Optional[str] = None) -> str:
+    """Content address of one compilation request.
+
+    ``pipeline`` is a registered name or a
+    :class:`~repro.pipeline.PipelineSpec`; either way the key is computed
+    from the spec's canonical serialization, so equivalent pipelines share
+    a key regardless of how (or whether) they are named.
+    """
     basis = json.dumps(
         {
             "source": normalize_source(source),
-            "pipeline": pipeline,
+            "pipeline": resolve_pipeline(pipeline).cache_basis(),
             "function": function,
             "version": __version__,
         },
@@ -88,6 +105,15 @@ class CacheStats:
         )
 
 
+def _valid_payload(payload) -> bool:
+    """Whether a deserialized disk entry is a usable, current payload."""
+    return (
+        isinstance(payload, dict)
+        and "code" in payload
+        and payload.get("version") == PAYLOAD_VERSION
+    )
+
+
 class CompileCache:
     """In-memory LRU + optional on-disk store of compilation payloads."""
 
@@ -119,6 +145,22 @@ class CompileCache:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
 
+    def _read_disk(self, key: str) -> Optional[Dict]:
+        """Read and validate a disk entry; None for missing/corrupt/stale.
+
+        The single source of truth for disk-entry validity — ``lookup`` and
+        ``__contains__`` both route through it, so they can never disagree
+        on whether a stale or incompatible entry "exists".
+        """
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None  # corrupt/racing entry: treat as a miss
+        return payload if _valid_payload(payload) else None
+
     def lookup(self, key: str) -> Optional[Dict]:
         """Fetch a payload by key, promoting disk entries into memory."""
         with self._lock:
@@ -127,22 +169,13 @@ class CompileCache:
                 self._memory.move_to_end(key)
                 self.stats.hits += 1
                 return payload
-        path = self._disk_path(key)
-        if path is not None and path.exists():
-            try:
-                payload = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, ValueError):
-                payload = None  # corrupt/racing entry: treat as a miss
-            if (
-                isinstance(payload, dict)
-                and "code" in payload
-                and payload.get("version") == PAYLOAD_VERSION
-            ):
-                with self._lock:
-                    self._memory_put(key, payload)
-                    self.stats.hits += 1
-                    self.stats.disk_hits += 1
-                return payload
+        payload = self._read_disk(key)
+        if payload is not None:
+            with self._lock:
+                self._memory_put(key, payload)
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+            return payload
         with self._lock:
             self.stats.misses += 1
         return None
@@ -182,23 +215,25 @@ class CompileCache:
         with self._lock:
             if key in self._memory:
                 return True
-        path = self._disk_path(key)
-        return path is not None and path.exists()
+        # Same validation as ``lookup`` (without stats or promotion): a
+        # stale or corrupt disk entry is absent, not present.
+        return self._read_disk(key) is not None
 
     # -- the cached compile entry point ---------------------------------------------
     def get_or_compile(
-        self, source: str, pipeline: str = "dcir", function: Optional[str] = None
+        self, source: str, pipeline: PipelineLike = "dcir", function: Optional[str] = None
     ) -> CompileResult:
-        """Compile through the cache.
+        """Compile through the cache (``pipeline`` is a name or spec).
 
         On a hit, a fresh :class:`CompileResult` is rehydrated from the
         stored payload (``cache_hit=True``) without running any compiler
         stage; on a miss the full pipeline runs and its payload is stored.
         """
-        key = cache_key(source, pipeline, function)
+        spec = resolve_pipeline(pipeline)
+        key = cache_key(source, spec, function)
         payload = self.lookup(key)
         if payload is not None:
             return result_from_payload(payload)
-        program = generate_program(source, pipeline, function=function)
+        program = generate_program(source, spec, function=function)
         self.store(key, program.to_payload())
         return program.to_result()

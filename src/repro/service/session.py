@@ -14,7 +14,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..pipeline import PIPELINES, CompileResult, run_compiled
+from ..pipeline import PAPER_PIPELINES, CompileResult, run_compiled
+from ..pipeline.spec import PipelineLike, pipeline_label
 from .batch import BatchOutcome, CompileRequest, compile_many
 from .cache import CacheStats, CompileCache
 
@@ -151,9 +152,10 @@ class Session:
         return self.cache.stats
 
     def compile(
-        self, source: str, pipeline: str = "dcir", function: Optional[str] = None
+        self, source: str, pipeline: PipelineLike = "dcir", function: Optional[str] = None
     ) -> CompileResult:
-        """Cached single compile (see :meth:`CompileCache.get_or_compile`)."""
+        """Cached single compile of a pipeline name or spec
+        (see :meth:`CompileCache.get_or_compile`)."""
         return self.cache.get_or_compile(source, pipeline, function=function)
 
     def compile_many(
@@ -170,42 +172,70 @@ class Session:
     def run_suite(
         self,
         workloads: WorkloadsLike,
-        pipelines: Sequence[str] = ("dcir",),
+        pipelines: Sequence[PipelineLike] = ("dcir",),
         repetitions: int = 1,
         parallel: bool = False,
         symbols: Optional[Dict[str, float]] = None,
     ) -> SuiteReport:
         """Compile and run every workload through every pipeline.
 
-        With ``parallel=True`` the cold compiles are batched through the
-        session executor first; runs always happen sequentially in-process
-        (they are being timed).  Compilation or runtime errors are captured
-        per entry, never aborting the remaining suite.
+        ``pipelines`` mixes registered names and
+        :class:`~repro.pipeline.PipelineSpec` values freely — custom specs
+        sweep exactly like the built-in six (entries are labelled with the
+        spec's display label).  With ``parallel=True`` the cold compiles
+        are batched through the session executor first — entries keep
+        honest statistics (a compile done in the batch phase reports the
+        worker's compile time and ``cache_hit=False``, not the ~ms cache
+        rehydration that follows); runs always happen sequentially
+        in-process (they are being timed).  Compilation or runtime errors
+        are captured per entry, never aborting the remaining suite.
+
+        ``symbols`` needs a live SDFG to evaluate, so ``moved_bytes`` is
+        None for entries rehydrated from the cache (see
+        :meth:`~repro.pipeline.CompileResult.movement_report`).
         """
         named = list(workloads.items()) if isinstance(workloads, Mapping) else list(workloads)
         pairs = [(name, source, pipeline) for name, source in named for pipeline in pipelines]
         start = time.perf_counter()
 
+        batched: List[Optional[BatchOutcome]] = [None] * len(pairs)
         if parallel and len(pairs) > 1:
-            self.compile_many(
+            batched = self.compile_many(
                 [CompileRequest(source=source, pipeline=pipeline, name=name)
                  for name, source, pipeline in pairs]
             )  # warms the cache; per-item errors re-surface in the loop below
 
         report = SuiteReport()
-        for name, source, pipeline in pairs:
-            entry = SuiteEntry(workload=name, pipeline=pipeline)
-            compile_start = time.perf_counter()
-            try:
-                compiled = self.compile(source, pipeline)
-            except Exception as exc:
-                entry.compile_seconds = time.perf_counter() - compile_start
-                entry.error = str(exc)
-                entry.error_type = type(exc).__name__
+        for index, (name, source, pipeline) in enumerate(pairs):
+            entry = SuiteEntry(workload=name, pipeline=pipeline_label(pipeline))
+            outcome = batched[index]
+            if outcome is not None and not outcome.ok:
+                # Already failed in the batch phase; don't recompile just to
+                # observe the same error again.
+                entry.compile_seconds = outcome.seconds
+                entry.error = outcome.error
+                entry.error_type = outcome.error_type
                 report.entries.append(entry)
                 continue
-            entry.compile_seconds = time.perf_counter() - compile_start
-            entry.cache_hit = compiled.cache_hit
+            if outcome is not None:
+                # Use the batch result directly (its payload may already
+                # have been evicted from the LRU), attributing the worker's
+                # compile time and cache status, not a rehydration's.
+                compiled = outcome.result
+                entry.compile_seconds = outcome.seconds
+                entry.cache_hit = outcome.cache_hit
+            else:
+                compile_start = time.perf_counter()
+                try:
+                    compiled = self.compile(source, pipeline)
+                except Exception as exc:
+                    entry.compile_seconds = time.perf_counter() - compile_start
+                    entry.error = str(exc)
+                    entry.error_type = type(exc).__name__
+                    report.entries.append(entry)
+                    continue
+                entry.compile_seconds = time.perf_counter() - compile_start
+                entry.cache_hit = compiled.cache_hit
             movement = compiled.movement_report(symbols)
             if movement is not None:
                 entry.moved_bytes = movement.bytes_moved
@@ -229,7 +259,10 @@ class Session:
     def run_polybench(
         self,
         kernels: Optional[Sequence[str]] = None,
-        pipelines: Sequence[str] = PIPELINES,
+        # A fixed snapshot of the paper's six, not the live PIPELINES view:
+        # registering a custom pipeline must not silently widen the default
+        # Fig. 6 sweep (or feed unsound ablations to its differential check).
+        pipelines: Sequence[PipelineLike] = PAPER_PIPELINES,
         sizes: Optional[Dict[str, Dict[str, int]]] = None,
         repetitions: int = 1,
         parallel: bool = False,

@@ -18,6 +18,7 @@ from .pipeline import (
     memory_scheduling_pipeline,
     simplification_pipeline,
 )
+from .registry import DATA_PASSES, list_data_passes, register_data_pass
 from .simplify import simplify_sdfg
 from .state_fusion import StateFusion
 from .symbol_passes import ScalarToSymbolPromotion, SymbolPropagation
@@ -26,6 +27,7 @@ from .wcr_detection import AugAssignToWCR
 __all__ = [
     "ArrayElimination",
     "AugAssignToWCR",
+    "DATA_PASSES",
     "DataCentricPass",
     "DataCentricPipeline",
     "DeadDataflowElimination",
@@ -43,6 +45,8 @@ __all__ = [
     "SymbolPropagation",
     "data_centric_pipeline",
     "find_loops",
+    "list_data_passes",
+    "register_data_pass",
     "memory_scheduling_pipeline",
     "simplification_pipeline",
     "simplify_sdfg",

@@ -1,9 +1,11 @@
 """Data-centric pass infrastructure and the standard DCIR pipelines.
 
-Mirrors DaCe's pass pipeline: each pass transforms an SDFG in place and
-reports whether it changed anything; pipelines run passes in order and
-optionally repeat until a fixed point.  Three standard pipelines are
-provided, matching the paper:
+A thin layer over the unified infrastructure in :mod:`repro.passbase`:
+:class:`DataCentricPass` keeps the DaCe-flavoured ``apply`` hook name and
+:class:`DataCentricPipeline` the ``validate`` convenience, while the report
+types are the shared ones (``PipelineReport``/``PassRecord`` are aliases of
+:class:`~repro.passbase.StageReport`/:class:`~repro.passbase.PassRecord`).
+Three standard pipelines are provided, matching the paper:
 
 * :func:`simplification_pipeline` — the idempotent ``-O1``-equivalent
   simplification (§6.1/§6.2): inference, state fusion, dead state / dead
@@ -17,21 +19,20 @@ provided, matching the paper:
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Sequence
 
+from ..passbase import PassBase, PassRecord, PassRunner, StageReport
 from ..sdfg import SDFG
 
+#: Backwards-compatible alias for the historical data-centric report name.
+PipelineReport = StageReport
 
-class DataCentricPass:
+
+class DataCentricPass(PassBase):
     """Base class for SDFG-level passes."""
 
-    NAME: Optional[str] = None
-
-    @property
-    def name(self) -> str:
-        return self.NAME or type(self).__name__
+    def run(self, target: SDFG) -> bool:
+        return self.apply(target)
 
     def apply(self, sdfg: SDFG) -> bool:
         """Transform ``sdfg`` in place; return True if anything changed."""
@@ -41,61 +42,20 @@ class DataCentricPass:
         return f"<DataCentricPass {self.name}>"
 
 
-@dataclass
-class PassRecord:
-    name: str
-    changed: bool
-    seconds: float
-
-
-@dataclass
-class PipelineReport:
-    records: List[PassRecord] = field(default_factory=list)
-
-    @property
-    def total_seconds(self) -> float:
-        return sum(record.seconds for record in self.records)
-
-    @property
-    def changed(self) -> bool:
-        return any(record.changed for record in self.records)
-
-    def applied_passes(self) -> List[str]:
-        return [record.name for record in self.records if record.changed]
-
-    def summary(self) -> str:
-        lines = [
-            f"{record.name:<34} changed={record.changed} {record.seconds * 1e3:8.2f} ms"
-            for record in self.records
-        ]
-        lines.append(f"{'total':<34} {'':13} {self.total_seconds * 1e3:8.2f} ms")
-        return "\n".join(lines)
-
-
-class DataCentricPipeline:
+class DataCentricPipeline(PassRunner):
     """Runs a sequence of data-centric passes, optionally to a fixed point."""
 
     def __init__(self, passes: Sequence[DataCentricPass], max_iterations: int = 4,
                  validate: bool = False):
-        self.passes = list(passes)
-        self.max_iterations = max(1, max_iterations)
-        self.validate = validate
+        super().__init__(
+            passes,
+            max_iterations=max_iterations,
+            validate=(lambda sdfg: sdfg.validate()) if validate else None,
+            stage="data",
+        )
 
-    def apply(self, sdfg: SDFG) -> PipelineReport:
-        report = PipelineReport()
-        for _ in range(self.max_iterations):
-            iteration_changed = False
-            for pass_obj in self.passes:
-                start = time.perf_counter()
-                changed = bool(pass_obj.apply(sdfg))
-                elapsed = time.perf_counter() - start
-                report.records.append(PassRecord(pass_obj.name, changed, elapsed))
-                iteration_changed = iteration_changed or changed
-                if self.validate:
-                    sdfg.validate()
-            if not iteration_changed:
-                break
-        return report
+    def apply(self, sdfg: SDFG) -> StageReport:
+        return self.run(sdfg)
 
 
 def simplification_pipeline(max_iterations: int = 4) -> DataCentricPipeline:

@@ -39,8 +39,20 @@ def _register(name: str, source: str, **sizes: int) -> None:
 
 
 def get_kernel(name: str, sizes: Dict[str, int] | None = None) -> str:
-    """Instantiate a kernel's C source with concrete problem sizes."""
-    template, defaults = KERNELS[name]
+    """Instantiate a kernel's C source with concrete problem sizes.
+
+    Unknown names raise :class:`~repro.errors.PipelineError` listing the
+    available kernels and suggesting the closest match.
+    """
+    try:
+        template, defaults = KERNELS[name]
+    except KeyError:
+        from ..errors import PipelineError
+        from ..passbase import suggest
+
+        raise PipelineError(
+            f"Unknown kernel {name!r}; " + suggest(name, sorted(KERNELS), "available kernels")
+        ) from None
     bindings = dict(defaults)
     if sizes:
         bindings.update(sizes)
