@@ -1,0 +1,53 @@
+"""Name-keyed registry of data-centric (SDFG) passes.
+
+Declarative pipeline specs (:class:`repro.pipeline.PipelineSpec`) reference
+data-centric passes by these names.  Registering a new pass makes it
+immediately usable in specs — ablation pipelines (e.g. ``dcir`` without
+``MapFusion``) are just specs with a shorter pass list.
+"""
+
+from __future__ import annotations
+
+from ..passbase import PassRegistry
+from .array_elimination import ArrayElimination
+from .dead_code import (
+    DeadDataflowElimination,
+    DeadStateElimination,
+    RedundantIterationElimination,
+)
+from .map_transforms import LoopToMap, MapFusion
+from .memlet_consolidation import MemletConsolidation
+from .memory_allocation import MemoryPreAllocation, StackPromotion
+from .state_fusion import StateFusion
+from .symbol_passes import ScalarToSymbolPromotion, SymbolPropagation
+from .wcr_detection import AugAssignToWCR
+
+#: The data-centric (SDFG-side) pass registry.
+DATA_PASSES = PassRegistry("data-centric")
+
+for _cls in (
+    ScalarToSymbolPromotion,
+    SymbolPropagation,
+    StateFusion,
+    AugAssignToWCR,
+    DeadStateElimination,
+    DeadDataflowElimination,
+    RedundantIterationElimination,
+    ArrayElimination,
+    MemletConsolidation,
+    StackPromotion,
+    MemoryPreAllocation,
+    LoopToMap,
+    MapFusion,
+):
+    DATA_PASSES.register(_cls)
+
+
+def register_data_pass(cls=None, *, name=None, overwrite=False):
+    """Register a data-centric pass class (usable as a decorator)."""
+    return DATA_PASSES.register(cls, name=name, overwrite=overwrite)
+
+
+def list_data_passes():
+    """Names of all registered data-centric passes."""
+    return DATA_PASSES.names()
