@@ -1,0 +1,24 @@
+"""Compile-time benchmark script: sweep pipelines over PolyBench.
+
+Measures the cold-cache wall time of compiling the PolyBench suite
+through every registered pipeline, plus the warm (compile-cache) path,
+and writes ``BENCH_compile.json`` — the committed baseline compile-time
+optimization PRs are judged against.  Equivalent to ``python -m repro
+bench``; run directly as::
+
+    python benchmarks/bench_compile.py [--quick] [-o BENCH_compile.json]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.perf.bench import main
+except ImportError:  # running from a checkout without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.perf.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,9 +2,10 @@
 
 Also demonstrates the service layer (:mod:`repro.service`) — the
 content-addressed compile cache, parallel batch compilation with
-``compile_many``, and the ``Session`` suite runner — and how to define,
+``compile_many``, and the ``Session`` suite runner — how to define,
 register and sweep a *custom* pipeline as a declarative
-:class:`~repro.PipelineSpec`.
+:class:`~repro.PipelineSpec`, and the compile-time profiler
+(:mod:`repro.perf`), whose counters every compilation report carries.
 
 Run with::
 
@@ -13,6 +14,7 @@ Run with::
 
 import time
 
+from repro.perf import PERF
 from repro import (
     PIPELINES,
     compile_c,
@@ -62,6 +64,7 @@ def main() -> None:
 
     custom_pipeline_demo()
     service_demo()
+    perf_demo()
 
 
 def custom_pipeline_demo() -> None:
@@ -129,6 +132,29 @@ def service_demo() -> None:
     )
     print("\n" + report.table())
     print("pipeline disagreements:", report.disagreements() or "none")
+
+
+def perf_demo() -> None:
+    """The compile-time profiler: counters on every compilation report.
+
+    The compiler's hot paths (symbolic interning, canonicalizer memos,
+    the expression-parse cache, pass execution, the compile cache) feed
+    the process-global :data:`repro.perf.PERF` profiler; each compile
+    attaches the delta it caused to its report.  ``python -m repro bench``
+    sweeps the PolyBench suite with the same machinery and writes
+    ``BENCH_compile.json``.
+    """
+    result = compile_c(SOURCE, "dcir")
+    counters = result.report.counters
+    print("\ncompile-time profile of one dcir compile:")
+    for name in ("frontend.runs", "passes.runs", "passes.applied",
+                 "symbolic.intern.hits", "symbolic.make.hits", "symbolic.parse.hits"):
+        if name in counters:
+            print(f"  {name:<24} {counters[name]:10g}")
+    for prefix in ("symbolic.intern", "symbolic.make", "symbolic.parse"):
+        rate = PERF.hit_rate(prefix)
+        if rate is not None:
+            print(f"  hit rate {prefix:<15} {rate * 100:5.1f}% (process-wide)")
 
 
 if __name__ == "__main__":

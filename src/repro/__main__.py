@@ -9,7 +9,12 @@ Mirrors the library's pipeline API:
 * ``compile`` — compile a C file or a named PolyBench kernel through a
   registered pipeline or a spec JSON file, printing the generated code or
   per-stage statistics;
-* ``run`` — compile and execute, printing the return value and timings.
+* ``run`` — compile and execute, printing the return value and timings;
+* ``bench`` — compile-time benchmark: sweep the registered pipelines over
+  the PolyBench suite (cold and through the compile cache) and write
+  ``BENCH_compile.json``; ``--quick`` restricts to three kernels and
+  ``--check-cached-counters`` fails when a cache hit performed any
+  frontend/pass work (the CI benchmark smoke gate).
 
 Examples::
 
@@ -17,6 +22,7 @@ Examples::
     python -m repro show-pipeline dcir > dcir.json
     python -m repro compile --kernel gemm --size NI=8 NJ=9 NK=10 --spec ablation.json --stats
     python -m repro run kernel.c --pipeline dcir+vec --repetitions 5
+    python -m repro bench --quick --check-cached-counters
 """
 
 from __future__ import annotations
@@ -181,6 +187,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--repetitions", type=int, default=1, help="best-of-N execution (default 1)"
     )
     run_parser.set_defaults(func=_cmd_run)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="compile-time benchmark sweep (writes BENCH_compile.json)"
+    )
+    from .perf.bench import add_bench_arguments, run_bench_cli
+
+    add_bench_arguments(bench_parser)
+    bench_parser.set_defaults(func=run_bench_cli)
 
     return parser
 

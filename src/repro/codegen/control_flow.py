@@ -87,7 +87,13 @@ class ControlFlowBuilder:
         self._unstructured_cycles = self._cyclic_states - loop_covered
 
     def _compute_postdominators(self) -> Dict[SDFGState, Optional[SDFGState]]:
-        graph = self.sdfg._graph.reverse(copy=True)
+        # Build a bare reversed CFG (states only, no edge payloads).
+        # ``MultiDiGraph.reverse(copy=True)`` deep-copies every interstate
+        # edge — and, through its state references, effectively the whole
+        # SDFG — which used to dominate compile time.
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.sdfg._graph.nodes())
+        graph.add_edges_from((dst, src) for src, dst in self.sdfg._graph.edges())
         sink = "__virtual_sink__"
         graph.add_node(sink)
         for state in self.sdfg.states():

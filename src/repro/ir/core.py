@@ -239,12 +239,18 @@ class Operation:
         return region.blocks[0]
 
     def walk(self, post_order: bool = False) -> Iterator["Operation"]:
-        """Iterate over this op and all nested ops."""
+        """Iterate over this op and all nested ops.
+
+        The traversal reads the live operation lists without defensive
+        copies; callers that erase or move operations during the walk must
+        snapshot it first (``for op in list(module.walk()): ...``), as the
+        mutating passes do.
+        """
         if not post_order:
             yield self
         for region in self.regions:
             for block in region.blocks:
-                for op in list(block.operations):
+                for op in block.operations:
                     yield from op.walk(post_order=post_order)
         if post_order:
             yield self
@@ -258,10 +264,11 @@ class Operation:
                     f"Cannot erase {self.name}: result still has "
                     f"{len(result.uses)} use(s)"
                 )
-        # Recursively drop nested ops so their operand uses disappear too.
+        # Recursively drop nested ops so their operand uses disappear too
+        # (dropping uses does not alter the block/region lists).
         for region in self.regions:
-            for block in list(region.blocks):
-                for op in list(block.operations):
+            for block in region.blocks:
+                for op in block.operations:
                     op.drop_all_operand_uses()
                     for result in op.results:
                         result.uses.clear()

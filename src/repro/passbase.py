@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Type
 
 from .errors import PipelineError
+from .perf import PERF
 
 
 class PassBase:
@@ -124,6 +125,13 @@ class CompilationReport:
 
     pipeline: str = ""
     stages: List[StageReport] = field(default_factory=list)
+    #: Profiler counter/timer increments attributed to this compilation
+    #: (a delta of :data:`repro.perf.PERF` around the compile).  Includes
+    #: symbolic-engine cache statistics, frontend/pass work counts, etc.
+    #: Exact for non-overlapping compiles; compiles running concurrently
+    #: on threads of one process fold each other's work into their deltas
+    #: (worker *processes* keep independent counters).
+    counters: Dict[str, float] = field(default_factory=dict)
 
     def add_stage(
         self, name: str, seconds: float, records: Sequence[PassRecord] = ()
@@ -156,6 +164,8 @@ class CompilationReport:
                     f"{record.seconds * 1e3:8.2f} ms"
                 )
         lines.append(f"  {'total':<10} {self.total_seconds * 1e3:8.2f} ms")
+        for name in sorted(self.counters):
+            lines.append(f"  {name:<40} {self.counters[name]:12g}")
         return "\n".join(lines)
 
 
@@ -193,12 +203,19 @@ class PassRunner:
                 changed = bool(pass_obj.run(target))
                 elapsed = time.perf_counter() - start
                 report.records.append(PassRecord(pass_obj.name, changed, elapsed))
+                PERF.increment("passes.runs")
+                if changed:
+                    PERF.increment("passes.applied")
                 iteration_changed = iteration_changed or changed
                 if self.validate is not None:
+                    # Run even after a reportedly-unchanged pass: validation
+                    # is an opt-in safety net, and a buggy pass may mutate
+                    # the IR while reporting changed=False.
                     self.validate(target)
             if not iteration_changed:
                 break
         report.wall_seconds = time.perf_counter() - wall_start
+        PERF.add_seconds(f"passes.{self.stage}", report.wall_seconds)
         return report
 
 

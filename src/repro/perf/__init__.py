@@ -1,0 +1,125 @@
+"""Compile-time profiling: process-global counters, timers and cache stats.
+
+The compiler's hot paths (symbolic interning, canonicalizer memo tables,
+the expression-parser cache, pass execution, the compile cache) report
+into one process-global :class:`PerfCounters` instance, :data:`PERF`.
+The service and pipeline layers snapshot it around a compilation and
+attach the delta to the
+:class:`~repro.passbase.CompilationReport`, so every compile carries an
+account of the work it actually performed — and, crucially, of the work
+it *skipped* (a compile-cache hit must perform zero frontend/pass work,
+a regression-tested invariant of the CI benchmark smoke job).
+
+Counter naming convention (dotted, lowercase):
+
+* ``symbolic.intern.hits`` / ``.misses`` — leaf-node hash-consing;
+* ``symbolic.make.hits`` / ``.misses`` — Add/Mul canonicalizer memo;
+* ``symbolic.parse.hits`` / ``.misses`` — string-expression parse cache;
+* ``frontend.runs`` — C frontend invocations;
+* ``passes.runs`` / ``passes.applied`` — pass executions / passes that
+  changed their IR;
+* ``compile_cache.hits`` / ``.misses`` — content-addressed compile cache.
+
+This module is dependency-free (it must be importable from the symbolic
+core without cycles).  Counters are plain dict increments — cheap enough
+for hot paths — and are process-local: parallel compilation *worker
+processes* accumulate their own counters.  Within one process the
+profiler is global, so snapshot/delta attribution (e.g. a
+``CompilationReport``'s counters) is only exact for compiles that do not
+overlap in time; compiles run concurrently on *threads* in the same
+process see each other's increments folded into their deltas.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping, Optional
+
+
+class PerfCounters:
+    """Named monotonic counters plus named accumulated timers.
+
+    Increment operations are unsynchronized dict updates: under the GIL
+    they are safe, merely approximate if multiple threads race — fine for
+    profiling.  Use :meth:`snapshot` + :meth:`delta_since` to attribute
+    work to a region of execution.
+    """
+
+    __slots__ = ("_counts", "_seconds")
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+        self._seconds: Dict[str, float] = {}
+
+    # -- counters -------------------------------------------------------------
+    def increment(self, name: str, amount: int = 1) -> None:
+        counts = self._counts
+        counts[name] = counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    # -- timers ---------------------------------------------------------------
+    def add_seconds(self, name: str, seconds: float) -> None:
+        table = self._seconds
+        table[name] = table.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_seconds(name, time.perf_counter() - start)
+
+    def seconds(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    # -- snapshots -------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """A point-in-time copy of all counters and timers.
+
+        Timer entries are suffixed with ``.seconds`` so one flat mapping
+        carries both kinds.
+        """
+        combined: Dict[str, float] = dict(self._counts)
+        for name, seconds in self._seconds.items():
+            combined[f"{name}.seconds"] = seconds
+        return combined
+
+    def delta_since(self, snapshot: Mapping[str, float]) -> Dict[str, float]:
+        """Counter/timer increments since ``snapshot`` (zero deltas omitted)."""
+        current = self.snapshot()
+        delta: Dict[str, float] = {}
+        for name, value in current.items():
+            change = value - snapshot.get(name, 0)
+            if change:
+                delta[name] = change
+        return delta
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._seconds.clear()
+
+    # -- reporting --------------------------------------------------------------
+    def hit_rate(self, prefix: str) -> Optional[float]:
+        """Hit rate of a ``<prefix>.hits`` / ``<prefix>.misses`` counter pair."""
+        hits = self.get(f"{prefix}.hits")
+        misses = self.get(f"{prefix}.misses")
+        total = hits + misses
+        return hits / total if total else None
+
+    def summary(self) -> str:
+        lines = []
+        for name in sorted(self._counts):
+            lines.append(f"{name:<40} {self._counts[name]:>12}")
+        for name in sorted(self._seconds):
+            lines.append(f"{name + '.seconds':<40} {self._seconds[name]:>12.4f}")
+        return "\n".join(lines)
+
+
+#: The process-global profiler fed by the compiler's hot paths.
+PERF = PerfCounters()
+
+__all__ = ["PERF", "PerfCounters"]

@@ -55,6 +55,7 @@ from ..errors import PipelineError
 from ..frontend import compile_c_to_mlir
 from ..passbase import CompilationReport, PassRunner, StageReport
 from ..passes import CONTROL_PASSES
+from ..perf import PERF
 from ..sdfg import SDFG
 from ..transforms import DATA_PASSES
 from .registry import PIPELINES, resolve_pipeline
@@ -62,8 +63,9 @@ from .spec import PipelineLike, PipelineSpec, pipeline_label
 
 #: Version tag of the serialized program payload; bump when the payload
 #: layout or the semantics of generated code change incompatibly.
-#: (v2: declarative-pipeline payloads carry the spec and stage timings.)
-PAYLOAD_VERSION = 2
+#: (v2: declarative-pipeline payloads carry the spec and stage timings;
+#: v3: payloads carry the compile-time profiler counters.)
+PAYLOAD_VERSION = 3
 
 
 @dataclass
@@ -186,6 +188,7 @@ class GeneratedProgram:
             "eliminated_containers": eliminated,
             "spec": self.spec.to_dict() if self.spec is not None else None,
             "stage_seconds": self.stage_seconds,
+            "counters": dict(self.report.counters) if self.report is not None else {},
         }
 
     def to_result(self) -> CompileResult:
@@ -235,6 +238,8 @@ def result_from_payload(payload: Dict) -> CompileResult:
         report = CompilationReport(pipeline=payload["pipeline"])
         for stage, seconds in payload["stage_seconds"].items():
             report.add_stage(stage, seconds)
+        # Profiler counters recorded by the original (cache-filling) compile.
+        report.counters = dict(payload.get("counters") or {})
     return CompileResult(
         pipeline=payload["pipeline"],
         function=payload.get("function"),
@@ -284,9 +289,11 @@ def generate_program(
     spec = resolve_pipeline(pipeline).validate()
     label = spec.label
     report = CompilationReport(pipeline=label)
+    perf_before = PERF.snapshot()
     start = time.perf_counter()
 
     stage_start = time.perf_counter()
+    PERF.increment("frontend.runs")
     module = compile_c_to_mlir(source, **spec.frontend_options)
     require_function(module, function)
     report.add_stage("frontend", time.perf_counter() - stage_start)
@@ -305,6 +312,7 @@ def generate_program(
             preallocate=spec.codegen.preallocate,
         )
         report.add_stage("codegen", time.perf_counter() - stage_start)
+        report.counters = PERF.delta_since(perf_before)
         return GeneratedProgram(
             pipeline=label,
             function=function,
@@ -325,6 +333,7 @@ def generate_program(
     stage_start = time.perf_counter()
     code = generate_sdfg_code(sdfg, vectorize=spec.codegen.vectorize)
     report.add_stage("codegen", time.perf_counter() - stage_start)
+    report.counters = PERF.delta_since(perf_before)
     return GeneratedProgram(
         pipeline=label,
         function=function,

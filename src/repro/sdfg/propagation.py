@@ -24,14 +24,15 @@ def propagate_subset(memlet: Memlet, params: List[str], ranges: List[Range]) -> 
         return memlet.clone()
     subset = memlet.subset
     volume = memlet.num_elements()
+    free_names = {sym.name for sym in subset.free_symbols()}
     for param, rng in zip(params, ranges):
-        if param in {sym.name for sym in subset.free_symbols()}:
+        # Whether or not the access depends on this parameter, every
+        # iteration contributes to the moved volume; the subset only grows
+        # for parameters it actually mentions.
+        if param in free_names:
             subset = subset.bounding_box_over(param, rng)
-            volume = volume * rng.num_elements()
-        else:
-            # The access does not depend on this parameter: every iteration
-            # touches the same elements (volume multiplies, subset does not).
-            volume = volume * rng.num_elements()
+            free_names = {sym.name for sym in subset.free_symbols()}
+        volume = volume * rng.num_elements()
     result = Memlet(data=memlet.data, subset=subset, wcr=memlet.wcr, dynamic=memlet.dynamic)
     result.volume = volume
     return result

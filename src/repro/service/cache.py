@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from .. import __version__
+from ..perf import PERF
 from ..pipeline import (
     CompileResult,
     generate_program,
@@ -233,7 +234,9 @@ class CompileCache:
         key = cache_key(source, spec, function)
         payload = self.lookup(key)
         if payload is not None:
+            PERF.increment("compile_cache.hits")
             return result_from_payload(payload)
+        PERF.increment("compile_cache.misses")
         program = generate_program(source, spec, function=function)
         self.store(key, program.to_payload())
         return program.to_result()

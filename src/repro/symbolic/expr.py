@@ -10,6 +10,25 @@ Expressions are immutable.  Construction performs light canonicalization
 (constant folding, flattening of nested sums/products, dropping neutral
 elements) so that structurally equal expressions compare equal in the
 common cases data-centric passes rely on (e.g. ``N + 0`` equals ``N``).
+
+Performance model (the compiler's hot core):
+
+* **Hash consing** — :class:`Integer`, :class:`Symbol` and
+  :class:`BoolConst` are interned: constructing the same leaf twice
+  returns the same object (``Integer(2) is Integer(2)``), so the most
+  common equality checks are pointer comparisons.
+* **Per-node caches** — every node caches its structural :meth:`key`,
+  its hash and its :meth:`free_symbols` set in slots the first time they
+  are computed.  Equality collapses onto the cached-key comparison in
+  this base class; there is no per-class ``__eq__``/``__ne__``.
+* **Memoized canonicalizers** — :meth:`Add.make` / :meth:`Mul.make`
+  results are memoized on their operand tuples (bounded tables).
+* **Substitution fast paths** — ``subs`` returns ``self`` (no fresh
+  allocation) whenever the mapping touches none of the node's free
+  symbols.
+
+All caches rely on the immutability contract: never mutate a node after
+construction (all node classes use ``__slots__`` to enforce this).
 """
 
 from __future__ import annotations
@@ -18,8 +37,18 @@ import math
 from fractions import Fraction
 from typing import Dict, Iterable, Mapping, Sequence, Union
 
+from ..perf import PERF
+
 Number = Union[int, float, Fraction]
 ExprLike = Union["Expr", int, float, str]
+
+#: Bound on the interning tables (leaf nodes) and canonicalizer memo
+#: tables.  Beyond the bound new entries are simply not recorded (leaves)
+#: or the table is cleared (memos) — correctness never depends on a cache.
+_INTERN_LIMIT = 65536
+_MEMO_LIMIT = 16384
+
+_EMPTY_FROZENSET: frozenset = frozenset()
 
 
 class SymbolicError(Exception):
@@ -30,7 +59,9 @@ def sympify(value: ExprLike) -> "Expr":
     """Coerce a Python value into an :class:`Expr`.
 
     Strings are parsed with :mod:`repro.symbolic.parser`, numbers become
-    constants, and expressions pass through unchanged.
+    constants, and expressions pass through unchanged.  Exact non-integer
+    rationals (:class:`fractions.Fraction`) are preserved exactly as a
+    :class:`Div` of two integers rather than degraded to a float.
     """
     if isinstance(value, Expr):
         return value
@@ -45,7 +76,9 @@ def sympify(value: ExprLike) -> "Expr":
     if isinstance(value, Fraction):
         if value.denominator == 1:
             return Integer(value.numerator)
-        return Float(float(value))
+        # Construct the Div node directly: Div.make would fold two integer
+        # constants into an (inexact) float.
+        return Div(Integer(value.numerator), Integer(value.denominator))
     if isinstance(value, str):
         from .parser import parse_expr
 
@@ -54,9 +87,13 @@ def sympify(value: ExprLike) -> "Expr":
 
 
 class Expr:
-    """Base class of all symbolic expressions."""
+    """Base class of all symbolic expressions.
 
-    __slots__ = ()
+    Nodes are immutable; the three slots below lazily cache the
+    structural key, its hash, and the free-symbol set.
+    """
+
+    __slots__ = ("_key", "_hash", "_free")
 
     # -- construction helpers ------------------------------------------------
     def __add__(self, other: ExprLike) -> "Expr":
@@ -66,10 +103,10 @@ class Expr:
         return Add.make(sympify(other), self)
 
     def __sub__(self, other: ExprLike) -> "Expr":
-        return Add.make(self, Mul.make(Integer(-1), sympify(other)))
+        return Add.make(self, Mul.make(_NEG_ONE, sympify(other)))
 
     def __rsub__(self, other: ExprLike) -> "Expr":
-        return Add.make(sympify(other), Mul.make(Integer(-1), self))
+        return Add.make(sympify(other), Mul.make(_NEG_ONE, self))
 
     def __mul__(self, other: ExprLike) -> "Expr":
         return Mul.make(self, sympify(other))
@@ -78,7 +115,7 @@ class Expr:
         return Mul.make(sympify(other), self)
 
     def __neg__(self) -> "Expr":
-        return Mul.make(Integer(-1), self)
+        return Mul.make(_NEG_ONE, self)
 
     def __truediv__(self, other: ExprLike) -> "Expr":
         return Div.make(self, sympify(other))
@@ -122,29 +159,58 @@ class Expr:
 
     # -- structural equality / hashing ---------------------------------------
     def key(self) -> tuple:
-        """Structural key used for equality and hashing."""
+        """Structural key used for equality and hashing (computed once)."""
+        try:
+            return self._key
+        except AttributeError:
+            key = self._key = self._compute_key()
+            return key
+
+    def _compute_key(self) -> tuple:
         raise NotImplementedError
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if isinstance(other, (int, float)):
             other = sympify(other)
         if not isinstance(other, Expr):
             return NotImplemented
         return self.key() == other.key()
 
-    def __ne__(self, other: object) -> bool:
-        result = self.__eq__(other)
-        if result is NotImplemented:
-            return result
-        return not result
+    # __ne__ intentionally not defined: Python derives it from __eq__.
 
     def __hash__(self) -> int:
-        return hash(self.key())
+        try:
+            return self._hash
+        except AttributeError:
+            result = self._hash = hash(self.key())
+            return result
+
+    # Immutable trees: copies are the object itself.  This also keeps
+    # structures embedding expressions (interstate edges, memlets) cheap
+    # to deep-copy.
+    def __copy__(self) -> "Expr":
+        return self
+
+    def __deepcopy__(self, memo) -> "Expr":
+        return self
 
     # -- analysis -------------------------------------------------------------
     def free_symbols(self) -> frozenset:
-        """Set of :class:`Symbol` objects appearing in the expression."""
-        result = set()
+        """Set of :class:`Symbol` objects appearing in the expression.
+
+        The returned frozenset is cached on the node and shared between
+        callers; do not attempt to mutate it.
+        """
+        try:
+            return self._free
+        except AttributeError:
+            free = self._free = self._compute_free()
+            return free
+
+    def _compute_free(self) -> frozenset:
+        result: set = set()
         for child in self.children():
             result |= child.free_symbols()
         return frozenset(result)
@@ -158,9 +224,18 @@ class Expr:
         for key, value in mapping.items():
             name = key.name if isinstance(key, Symbol) else str(key)
             normalized[name] = sympify(value)
+        if not normalized:
+            return self
         return self._subs(normalized)
 
     def _subs(self, mapping: Dict[str, "Expr"]) -> "Expr":
+        # Fast path: nothing to substitute in this subtree.
+        for symbol in self.free_symbols():
+            if symbol.name in mapping:
+                return self._subs_impl(mapping)
+        return self
+
+    def _subs_impl(self, mapping: Dict[str, "Expr"]) -> "Expr":
         raise NotImplementedError
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
@@ -203,26 +278,42 @@ class Expr:
 
 
 class Integer(Expr):
-    """Integer constant."""
+    """Integer constant (hash-consed: equal values share one object)."""
 
     __slots__ = ("value",)
 
-    def __init__(self, value: int):
+    _interned: Dict[int, "Integer"] = {}
+
+    def __new__(cls, value: int):
         if not isinstance(value, int):
             raise SymbolicError(f"Integer requires an int, got {value!r}")
+        value = int(value)  # normalize bool -> int
+        if cls is Integer:  # subclasses get (and intern) their own instances
+            self = Integer._interned.get(value)
+            if self is not None:
+                PERF.increment("symbolic.intern.hits")
+                return self
+        PERF.increment("symbolic.intern.misses")
+        self = object.__new__(cls)
         self.value = value
+        if cls is Integer and len(Integer._interned) < _INTERN_LIMIT:
+            Integer._interned[value] = self
+        return self
 
-    def key(self) -> tuple:
+    def __reduce__(self):
+        return (Integer, (self.value,))
+
+    def _compute_key(self) -> tuple:
         return ("int", self.value)
 
-    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+    def _subs_impl(self, mapping: Dict[str, Expr]) -> Expr:
         return self
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
         return self.value
 
-    def free_symbols(self) -> frozenset:
-        return frozenset()
+    def _compute_free(self) -> frozenset:
+        return _EMPTY_FROZENSET
 
     def __str__(self) -> str:
         return str(self.value)
@@ -236,39 +327,54 @@ class Float(Expr):
     def __init__(self, value: float):
         self.value = float(value)
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return ("float", self.value)
 
-    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+    def _subs_impl(self, mapping: Dict[str, Expr]) -> Expr:
         return self
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
         return self.value
 
-    def free_symbols(self) -> frozenset:
-        return frozenset()
+    def _compute_free(self) -> frozenset:
+        return _EMPTY_FROZENSET
 
     def __str__(self) -> str:
         return repr(self.value)
 
 
 class Symbol(Expr):
-    """A named symbolic value (e.g. an array dimension ``N``)."""
+    """A named symbolic value (e.g. an array dimension ``N``), hash-consed."""
 
     __slots__ = ("name",)
 
-    def __init__(self, name: str):
+    _interned: Dict[str, "Symbol"] = {}
+
+    def __new__(cls, name: str):
         if not name or not isinstance(name, str):
             raise SymbolicError(f"Symbol requires a non-empty name, got {name!r}")
+        if cls is Symbol:  # subclasses get (and intern) their own instances
+            self = Symbol._interned.get(name)
+            if self is not None:
+                PERF.increment("symbolic.intern.hits")
+                return self
+        PERF.increment("symbolic.intern.misses")
+        self = object.__new__(cls)
         self.name = name
+        if cls is Symbol and len(Symbol._interned) < _INTERN_LIMIT:
+            Symbol._interned[name] = self
+        return self
 
-    def key(self) -> tuple:
+    def __reduce__(self):
+        return (Symbol, (self.name,))
+
+    def _compute_key(self) -> tuple:
         return ("sym", self.name)
 
-    def free_symbols(self) -> frozenset:
-        return frozenset({self})
+    def _compute_free(self) -> frozenset:
+        return frozenset((self,))
 
-    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+    def _subs_impl(self, mapping: Dict[str, Expr]) -> Expr:
         return mapping.get(self.name, self)
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
@@ -295,6 +401,27 @@ def _const_value(expr: Expr):
     return None
 
 
+#: Memo tables of the n-ary canonicalizers, keyed by operand tuple.  Safe
+#: because expressions are immutable and the builders are pure functions
+#: of their operands' structure.
+_ADD_MEMO: Dict[tuple, "Expr"] = {}
+_MUL_MEMO: Dict[tuple, "Expr"] = {}
+
+
+def _memoized_make(memo: Dict[tuple, "Expr"], builder, operands: tuple) -> "Expr":
+    """Memoize a pure n-ary canonicalizer on its (Expr-only) operand tuple."""
+    cached = memo.get(operands)
+    if cached is not None:
+        PERF.increment("symbolic.make.hits")
+        return cached
+    PERF.increment("symbolic.make.misses")
+    result = builder(operands)
+    if len(memo) >= _MEMO_LIMIT:
+        memo.clear()
+    memo[operands] = result
+    return result
+
+
 class Add(Expr):
     """Sum of terms (n-ary, flattened, constants folded)."""
 
@@ -305,6 +432,10 @@ class Add(Expr):
 
     @staticmethod
     def make(*operands: Expr) -> Expr:
+        return _memoized_make(_ADD_MEMO, Add._make, operands)
+
+    @staticmethod
+    def _make(operands: Sequence[Expr]) -> Expr:
         terms: list[Expr] = []
         constant: Number = 0
         is_float = False
@@ -356,10 +487,10 @@ class Add(Expr):
     def children(self) -> Sequence[Expr]:
         return self.args
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return ("add", tuple(sorted(arg.key() for arg in self.args)))
 
-    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+    def _subs_impl(self, mapping: Dict[str, Expr]) -> Expr:
         return Add.make(*[arg._subs(mapping) for arg in self.args])
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
@@ -388,6 +519,10 @@ class Mul(Expr):
 
     @staticmethod
     def make(*operands: Expr) -> Expr:
+        return _memoized_make(_MUL_MEMO, Mul._make, operands)
+
+    @staticmethod
+    def _make(operands: Sequence[Expr]) -> Expr:
         factors: list[Expr] = []
         constant: Number = 1
         is_float = False
@@ -426,10 +561,10 @@ class Mul(Expr):
     def children(self) -> Sequence[Expr]:
         return self.args
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return ("mul", tuple(sorted(arg.key() for arg in self.args)))
 
-    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+    def _subs_impl(self, mapping: Dict[str, Expr]) -> Expr:
         return Mul.make(*[arg._subs(mapping) for arg in self.args])
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
@@ -470,10 +605,10 @@ class Div(Expr):
     def children(self) -> Sequence[Expr]:
         return (self.num, self.den)
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return ("div", self.num.key(), self.den.key())
 
-    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+    def _subs_impl(self, mapping: Dict[str, Expr]) -> Expr:
         return Div.make(self.num._subs(mapping), self.den._subs(mapping))
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
@@ -509,10 +644,10 @@ class FloorDiv(Expr):
     def children(self) -> Sequence[Expr]:
         return (self.num, self.den)
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return ("floordiv", self.num.key(), self.den.key())
 
-    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+    def _subs_impl(self, mapping: Dict[str, Expr]) -> Expr:
         return FloorDiv.make(self.num._subs(mapping), self.den._subs(mapping))
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
@@ -548,10 +683,10 @@ class Mod(Expr):
     def children(self) -> Sequence[Expr]:
         return (self.num, self.den)
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return ("mod", self.num.key(), self.den.key())
 
-    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+    def _subs_impl(self, mapping: Dict[str, Expr]) -> Expr:
         return Mod.make(self.num._subs(mapping), self.den._subs(mapping))
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
@@ -587,10 +722,10 @@ class Pow(Expr):
     def children(self) -> Sequence[Expr]:
         return (self.base, self.exp)
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return ("pow", self.base.key(), self.exp.key())
 
-    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+    def _subs_impl(self, mapping: Dict[str, Expr]) -> Expr:
         return Pow.make(self.base._subs(mapping), self.exp._subs(mapping))
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
@@ -615,10 +750,10 @@ class Min(Expr):
     def children(self) -> Sequence[Expr]:
         return self.args
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return ("min", tuple(sorted(arg.key() for arg in self.args)))
 
-    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+    def _subs_impl(self, mapping: Dict[str, Expr]) -> Expr:
         return Min.make(*[arg._subs(mapping) for arg in self.args])
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
@@ -643,10 +778,10 @@ class Max(Expr):
     def children(self) -> Sequence[Expr]:
         return self.args
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return ("max", tuple(sorted(arg.key() for arg in self.args)))
 
-    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+    def _subs_impl(self, mapping: Dict[str, Expr]) -> Expr:
         return Max.make(*[arg._subs(mapping) for arg in self.args])
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
@@ -685,7 +820,7 @@ def _linear_bounds_assuming_positive(expr: Expr):
 
 def _provably_ge(a: Expr, b: Expr) -> bool:
     """Whether ``a >= b`` holds for all positive integer symbol values."""
-    lower, _ = _linear_bounds_assuming_positive(Add.make(a, Mul.make(Integer(-1), b)))
+    lower, _ = _linear_bounds_assuming_positive(Add.make(a, Mul.make(_NEG_ONE, b)))
     return lower is not None and lower >= 0
 
 
@@ -758,20 +893,36 @@ class BoolExpr(Expr):
 
 
 class BoolConst(BoolExpr):
-    """Boolean constant ``true`` / ``false``."""
+    """Boolean constant ``true`` / ``false`` (two interned instances)."""
 
     __slots__ = ("value",)
 
-    def __init__(self, value: bool):
-        self.value = bool(value)
+    _interned: Dict[bool, "BoolConst"] = {}
 
-    def key(self) -> tuple:
+    def __new__(cls, value: bool):
+        value = bool(value)
+        if cls is BoolConst:
+            self = BoolConst._interned.get(value)
+            if self is not None:
+                PERF.increment("symbolic.intern.hits")
+                return self
+        PERF.increment("symbolic.intern.misses")
+        self = object.__new__(cls)
+        self.value = value
+        if cls is BoolConst:
+            BoolConst._interned[value] = self
+        return self
+
+    def __reduce__(self):
+        return (BoolConst, (self.value,))
+
+    def _compute_key(self) -> tuple:
         return ("bool", self.value)
 
-    def free_symbols(self) -> frozenset:
-        return frozenset()
+    def _compute_free(self) -> frozenset:
+        return _EMPTY_FROZENSET
 
-    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+    def _subs_impl(self, mapping: Dict[str, Expr]) -> Expr:
         return self
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
@@ -821,7 +972,7 @@ class Compare(BoolExpr):
             if op in ("!=", "<", ">"):
                 return FALSE
         # Normalize to a comparison against zero difference where possible.
-        diff = Add.make(lhs, Mul.make(Integer(-1), rhs))
+        diff = Add.make(lhs, Mul.make(_NEG_ONE, rhs))
         dval = _const_value(diff)
         if dval is not None:
             return BoolConst(_COMPARE_FOLD[op](dval, 0))
@@ -830,10 +981,10 @@ class Compare(BoolExpr):
     def children(self) -> Sequence[Expr]:
         return (self.lhs, self.rhs)
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return ("cmp", self.op, self.lhs.key(), self.rhs.key())
 
-    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+    def _subs_impl(self, mapping: Dict[str, Expr]) -> Expr:
         return Compare.make(self.op, self.lhs._subs(mapping), self.rhs._subs(mapping))
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
@@ -872,10 +1023,10 @@ class And(BoolExpr):
     def children(self) -> Sequence[Expr]:
         return self.args
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return ("and", tuple(sorted(arg.key() for arg in self.args)))
 
-    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+    def _subs_impl(self, mapping: Dict[str, Expr]) -> Expr:
         return And.make(*[arg._subs(mapping) for arg in self.args])
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
@@ -914,10 +1065,10 @@ class Or(BoolExpr):
     def children(self) -> Sequence[Expr]:
         return self.args
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return ("or", tuple(sorted(arg.key() for arg in self.args)))
 
-    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+    def _subs_impl(self, mapping: Dict[str, Expr]) -> Expr:
         return Or.make(*[arg._subs(mapping) for arg in self.args])
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
@@ -950,10 +1101,10 @@ class Not(BoolExpr):
     def children(self) -> Sequence[Expr]:
         return (self.arg,)
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return ("not", self.arg.key())
 
-    def _subs(self, mapping: Dict[str, Expr]) -> Expr:
+    def _subs_impl(self, mapping: Dict[str, Expr]) -> Expr:
         return Not.make(self.arg._subs(mapping))
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Number:
@@ -998,6 +1149,9 @@ def _split_coefficient(term: Expr) -> tuple:
 
 
 _PRECEDENCE = {Add: 1, Compare: 0, Or: 0, And: 0, Mul: 2, Div: 2, FloorDiv: 2, Mod: 2, Pow: 3}
+
+#: Shared -1 constant used by negation/subtraction (hot construction path).
+_NEG_ONE = Integer(-1)
 
 
 def _maybe_paren(expr: Expr, parent_cls: type) -> str:

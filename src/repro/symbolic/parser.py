@@ -26,6 +26,7 @@ from __future__ import annotations
 import re
 from typing import List, Optional
 
+from ..perf import PERF
 from .expr import (
     Add,
     And,
@@ -261,11 +262,27 @@ def _make_call(name: str, args: List[Expr]) -> Expr:
     raise SymbolicError(f"Unknown symbolic function {name!r}")
 
 
+#: Bounded parse cache.  The ``sdfg`` dialect stores symbolic sizes as
+#: strings, so the same handful of expression strings is re-parsed
+#: constantly; expressions are immutable, making the memo safe to share.
+_PARSE_CACHE: dict = {}
+_PARSE_CACHE_LIMIT = 8192
+
+
 def parse_expr(text: str) -> Expr:
-    """Parse ``text`` into a symbolic expression."""
+    """Parse ``text`` into a symbolic expression (memoized on the string)."""
     if not isinstance(text, str):
         raise SymbolicError(f"parse_expr expects a string, got {type(text).__name__}")
+    cached = _PARSE_CACHE.get(text)
+    if cached is not None:
+        PERF.increment("symbolic.parse.hits")
+        return cached
+    PERF.increment("symbolic.parse.misses")
     tokens = _tokenize(text)
     if not tokens:
         raise SymbolicError("Empty expression string")
-    return _Parser(tokens).parse()
+    expr = _Parser(tokens).parse()
+    if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+        _PARSE_CACHE.clear()
+    _PARSE_CACHE[text] = expr
+    return expr

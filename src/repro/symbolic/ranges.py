@@ -8,21 +8,34 @@ coverage, intersection tests, bounding-box unions and offsetting.
 Ranges are half-open (``start`` inclusive, ``end`` exclusive) with a
 positive step; bounds may be symbolic expressions.  Queries that cannot be
 decided symbolically return ``None`` ("unknown") rather than guessing.
+
+Like expressions, ranges and subsets are immutable after construction;
+they cache their structural key, hash, free-symbol set and element count
+in slots, and ``subs`` returns ``self`` when the mapping touches none of
+their free symbols.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Mapping, Optional, Sequence, Union
 
-from .expr import Expr, Integer, Max, Min, SymbolicError, sympify
+from .expr import Expr, Integer, Max, Min, Symbol, SymbolicError, sympify
 
 RangeLike = Union["Range", tuple, int, Expr, str]
+
+_ONE = Integer(1)
+
+
+def _mapping_names(mapping: Mapping) -> set:
+    """Substituted symbol names; keys may be strings or Symbol objects
+    (the same forms :meth:`Expr.subs` accepts)."""
+    return {key.name if isinstance(key, Symbol) else str(key) for key in mapping}
 
 
 class Range:
     """A one-dimensional strided index range ``[start, end) : step``."""
 
-    __slots__ = ("start", "end", "step")
+    __slots__ = ("start", "end", "step", "_key", "_hash", "_free", "_num")
 
     def __init__(self, start, end, step=1):
         self.start = sympify(start)
@@ -52,14 +65,21 @@ class Range:
 
     # -- queries --------------------------------------------------------------
     def num_elements(self) -> Expr:
-        """Number of iterations/elements covered (symbolic)."""
+        """Number of iterations/elements covered (symbolic, computed once)."""
+        try:
+            return self._num
+        except AttributeError:
+            pass
         span = self.end - self.start
-        if self.step == Integer(1):
-            return span
-        return (span + self.step - Integer(1)) // self.step
+        if self.step == _ONE:
+            result = span
+        else:
+            result = (span + self.step - _ONE) // self.step
+        self._num = result
+        return result
 
     def is_point(self) -> bool:
-        return self.num_elements() == Integer(1)
+        return self.num_elements() == _ONE
 
     def is_empty(self) -> Optional[bool]:
         diff = self.end - self.start
@@ -92,7 +112,9 @@ class Range:
         return None
 
     def union(self, other: "Range") -> "Range":
-        """Bounding-box union (may over-approximate)."""
+        """Bounding-box union (may over-approximate; step normalizes to 1)."""
+        if (self is other or self == other) and self.step == _ONE:
+            return self
         return Range(Min.make(self.start, other.start), Max.make(self.end, other.end), 1)
 
     def offset(self, amount, negative: bool = False) -> "Range":
@@ -102,10 +124,21 @@ class Range:
         return Range(self.start + amount, self.end + amount, self.step)
 
     def subs(self, mapping: Mapping[str, Expr]) -> "Range":
+        if not mapping:
+            return self
+        names = _mapping_names(mapping)
+        if not any(sym.name in names for sym in self.free_symbols()):
+            return self
         return Range(self.start.subs(mapping), self.end.subs(mapping), self.step.subs(mapping))
 
     def free_symbols(self) -> frozenset:
-        return self.start.free_symbols() | self.end.free_symbols() | self.step.free_symbols()
+        try:
+            return self._free
+        except AttributeError:
+            free = self._free = (
+                self.start.free_symbols() | self.end.free_symbols() | self.step.free_symbols()
+            )
+            return free
 
     def evaluate(self, env: Mapping[str, int] | None = None) -> range:
         """Concrete Python range (requires all symbols bound)."""
@@ -116,18 +149,32 @@ class Range:
         )
 
     # -- comparison / printing -------------------------------------------------
+    def key(self) -> tuple:
+        """Structural key used for equality and hashing (computed once)."""
+        try:
+            return self._key
+        except AttributeError:
+            key = self._key = (self.start.key(), self.end.key(), self.step.key())
+            return key
+
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Range):
             return NotImplemented
-        return self.start == other.start and self.end == other.end and self.step == other.step
+        return self.key() == other.key()
 
     def __hash__(self) -> int:
-        return hash((self.start, self.end, self.step))
+        try:
+            return self._hash
+        except AttributeError:
+            result = self._hash = hash(self.key())
+            return result
 
     def __str__(self) -> str:
         if self.is_point():
             return str(self.start)
-        if self.step == Integer(1):
+        if self.step == _ONE:
             return f"{self.start}:{self.end}"
         return f"{self.start}:{self.end}:{self.step}"
 
@@ -138,7 +185,7 @@ class Range:
 class Subset:
     """A rectangular, multi-dimensional subset: one :class:`Range` per dimension."""
 
-    __slots__ = ("ranges",)
+    __slots__ = ("ranges", "_key", "_hash", "_free", "_num")
 
     def __init__(self, ranges: Iterable[RangeLike]):
         self.ranges: List[Range] = [Range.make(r) for r in ranges]
@@ -181,9 +228,14 @@ class Subset:
         return len(self.ranges)
 
     def num_elements(self) -> Expr:
-        total: Expr = Integer(1)
+        try:
+            return self._num
+        except AttributeError:
+            pass
+        total: Expr = _ONE
         for rng in self.ranges:
             total = total * rng.num_elements()
+        self._num = total
         return total
 
     def is_point(self) -> bool:
@@ -224,6 +276,8 @@ class Subset:
             raise SymbolicError(
                 f"Cannot union subsets of different dimensionality ({self.dims} vs {other.dims})"
             )
+        if (self is other or self == other) and all(rng.step == _ONE for rng in self.ranges):
+            return self
         return Subset([mine.union(theirs) for mine, theirs in zip(self.ranges, other.ranges)])
 
     def offset(self, amounts: Sequence, negative: bool = False) -> "Subset":
@@ -234,12 +288,22 @@ class Subset:
         )
 
     def subs(self, mapping: Mapping[str, Expr]) -> "Subset":
+        if not mapping:
+            return self
+        names = _mapping_names(mapping)
+        if not any(sym.name in names for sym in self.free_symbols()):
+            return self
         return Subset([rng.subs(mapping) for rng in self.ranges])
 
     def free_symbols(self) -> frozenset:
+        try:
+            return self._free
+        except AttributeError:
+            pass
         result: frozenset = frozenset()
         for rng in self.ranges:
             result |= rng.free_symbols()
+        self._free = result
         return result
 
     def bounding_box_over(self, param: str, param_range: Range) -> "Subset":
@@ -249,7 +313,7 @@ class Subset:
         per-iteration subset (a function of the map parameter) becomes a
         parametric bounding box over the whole iteration range.
         """
-        last = param_range.end - Integer(1)
+        last = param_range.end - _ONE
         at_first = self.subs({param: param_range.start})
         at_last = self.subs({param: last})
         return at_first.union(at_last)
@@ -259,13 +323,27 @@ class Subset:
         return tuple(rng.evaluate(env) for rng in self.ranges)
 
     # -- comparison / printing -------------------------------------------------
+    def key(self) -> tuple:
+        """Structural key used for equality and hashing (computed once)."""
+        try:
+            return self._key
+        except AttributeError:
+            key = self._key = tuple(rng.key() for rng in self.ranges)
+            return key
+
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Subset):
             return NotImplemented
-        return self.ranges == other.ranges
+        return self.key() == other.key()
 
     def __hash__(self) -> int:
-        return hash(tuple(self.ranges))
+        try:
+            return self._hash
+        except AttributeError:
+            result = self._hash = hash(self.key())
+            return result
 
     def __str__(self) -> str:
         return ", ".join(str(rng) for rng in self.ranges)
