@@ -61,9 +61,17 @@ compiles batches in parallel, and runs whole workload suites::
     report = session.run_polybench(["gemm", "atax"], pipelines=("gcc", "dcir"))
     print(report.table())
 
+Auto-tuning (:mod:`repro.tuning`) searches the pipeline space *between*
+the six compositions per kernel — ablations, reorderings, codegen-option
+sweeps — with pluggable strategies and evaluators, every candidate batch
+deduplicated through the compile cache::
+
+    report = tune_kernel("gemm", budget=8, seed=0)   # reproducible search
+    register_winner(report, "gemm-tuned")            # now a named pipeline
+
 A command-line interface mirrors the library: ``python -m repro
-list-pipelines``, ``python -m repro compile``, ``python -m repro run``
-(see ``python -m repro --help``).
+list-pipelines``, ``python -m repro compile``, ``python -m repro run``,
+``python -m repro tune`` (see ``python -m repro --help``).
 """
 
 from .pipeline import (
@@ -86,13 +94,20 @@ from .pipeline import (
     unregister_pipeline,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from .service import (  # noqa: E402  (needs __version__ for cache keys)
     CompileCache,
     Session,
     SuiteReport,
     compile_many,
+)
+from .tuning import (  # noqa: E402  (builds on the service layer)
+    SearchSpace,
+    TuningReport,
+    register_winner,
+    tune,
+    tune_kernel,
 )
 
 __all__ = [
@@ -106,8 +121,10 @@ __all__ = [
     "PipelineError",
     "PipelineSpec",
     "RunResult",
+    "SearchSpace",
     "Session",
     "SuiteReport",
+    "TuningReport",
     "__version__",
     "compile_and_run",
     "compile_c",
@@ -116,6 +133,9 @@ __all__ = [
     "get_pipeline",
     "list_pipelines",
     "register_pipeline",
+    "register_winner",
     "run_compiled",
+    "tune",
+    "tune_kernel",
     "unregister_pipeline",
 ]

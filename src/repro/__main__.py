@@ -10,6 +10,12 @@ Mirrors the library's pipeline API:
   registered pipeline or a spec JSON file, printing the generated code or
   per-stage statistics;
 * ``run`` — compile and execute, printing the return value and timings;
+* ``tune`` — auto-tune the pipeline composition for a kernel: search
+  ablations/reorderings/codegen variants of a base pipeline
+  (``--pipeline``/``--spec``) with a pluggable strategy and evaluator,
+  print the ranking and optionally write the ``TuningReport`` JSON
+  (``-o``); seeded searches (``--budget N --seed S``) produce the same
+  winner digest in every process;
 * ``bench`` — compile-time benchmark: sweep the registered pipelines over
   the PolyBench suite (cold and through the compile cache) and write
   ``BENCH_compile.json``; ``--quick`` restricts to three kernels and
@@ -154,6 +160,75 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_tune(args) -> int:
+    from .service import Session
+    from .tuning import SearchSpace, get_evaluator, get_strategy, register_winner, tune
+
+    base = _load_pipeline(args)
+    if args.strategy == "auto":
+        strategy_name = "random" if args.budget is not None else "exhaustive"
+    else:
+        strategy_name = args.strategy
+    # Options that only one strategy consumes are rejected elsewhere rather
+    # than silently ignored ("--seed 7" without --budget runs exhaustive).
+    if args.seed is not None and strategy_name != "random":
+        raise SystemExit(
+            f"--seed only applies to the random strategy (got {strategy_name!r}; "
+            "pass --budget to select seeded random search)"
+        )
+    if args.rounds is not None and strategy_name != "greedy":
+        raise SystemExit(f"--rounds only applies to the greedy strategy (got {strategy_name!r})")
+    if args.repetitions is not None and args.evaluator != "runtime":
+        raise SystemExit("--repetitions only applies to the runtime evaluator")
+
+    strategy_options = {"budget": args.budget}
+    if strategy_name == "random":
+        strategy_options.update(
+            budget=args.budget if args.budget is not None else 16,
+            seed=args.seed if args.seed is not None else 0,
+        )
+    elif strategy_name == "greedy" and args.rounds is not None:
+        strategy_options["rounds"] = args.rounds
+    strategy = get_strategy(strategy_name, **strategy_options)
+
+    evaluator_options = {}
+    if args.evaluator == "runtime" and args.repetitions is not None:
+        evaluator_options["repetitions"] = args.repetitions
+    evaluator = get_evaluator(args.evaluator, **evaluator_options)
+
+    sizes = None
+    if args.kernel is not None:
+        from .workloads import default_sizes
+
+        kernel = args.kernel
+        sizes = default_sizes(kernel)
+        sizes.update(_parse_sizes(args.size))
+    else:
+        kernel = args.source if args.source not in (None, "-") else "<stdin>"
+
+    report = tune(
+        _load_source(args),
+        base=base,
+        strategy=strategy,
+        evaluator=evaluator,
+        space=SearchSpace(base, include_registered=not args.no_registered),
+        session=Session(executor=args.executor),
+        function=args.function,
+        kernel=kernel,
+        sizes=sizes,
+    )
+    print(report.table())
+    if args.output is not None:
+        print(f"wrote {report.write(args.output)}")
+    if report.winner is None:
+        print("error: no candidate could be scored", file=sys.stderr)
+        return 1
+    if args.register:
+        registered = register_winner(report, args.register, overwrite=True)
+        print(f"registered winning spec as {registered.name!r} (this process)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -187,6 +262,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--repetitions", type=int, default=1, help="best-of-N execution (default 1)"
     )
     run_parser.set_defaults(func=_cmd_run)
+
+    tune_parser = subparsers.add_parser(
+        "tune", help="auto-tune the pipeline composition for a kernel"
+    )
+    from .tuning import EVALUATORS, STRATEGIES
+
+    _add_compile_arguments(tune_parser)
+    tune_parser.add_argument(
+        "--strategy", choices=("auto", *STRATEGIES), default="auto",
+        help="search strategy (auto: random when --budget is given, else exhaustive)",
+    )
+    tune_parser.add_argument(
+        "--budget", type=int, help="maximum candidate evaluations"
+    )
+    tune_parser.add_argument(
+        "--seed", type=int, help="random-strategy seed (default 0)"
+    )
+    tune_parser.add_argument(
+        "--rounds", type=int, help="greedy-strategy sweep rounds (default 2)"
+    )
+    tune_parser.add_argument(
+        "--evaluator", choices=tuple(EVALUATORS), default="static",
+        help="score by the data-movement cost model (deterministic) or measured runtime",
+    )
+    tune_parser.add_argument(
+        "--repetitions", type=int,
+        help="best-of-N timing for the runtime evaluator (default 3)",
+    )
+    tune_parser.add_argument(
+        "--no-registered", action="store_true",
+        help="search only the base spec's neighbourhood (skip registered-pipeline seeds)",
+    )
+    tune_parser.add_argument(
+        "--executor", choices=("process", "thread", "serial"),
+        help="how candidate batches compile (default: processes when CPUs allow)",
+    )
+    tune_parser.add_argument(
+        "-o", "--output", help="write the TuningReport JSON to this path"
+    )
+    tune_parser.add_argument(
+        "--register", metavar="NAME",
+        help="register the winning spec under this pipeline name (in this process)",
+    )
+    tune_parser.set_defaults(func=_cmd_tune)
 
     bench_parser = subparsers.add_parser(
         "bench", help="compile-time benchmark sweep (writes BENCH_compile.json)"

@@ -10,7 +10,13 @@ from .control_flow import (
     build_control_flow,
     states_in_tree,
 )
-from .cost_model import MovementReport, sdfg_movement_report
+from .cost_model import (
+    ALLOCATION_COST_BYTES,
+    MovementReport,
+    movement_score,
+    sdfg_movement_report,
+    sdfg_score,
+)
 from .loader import ProgramLoadError, load_entry
 from .mlir_python import CompiledMLIR, MLIRCodegenError, compile_mlir, generate_mlir_code
 from .sdfg_python import (
@@ -23,6 +29,7 @@ from .sdfg_python import (
 )
 
 __all__ = [
+    "ALLOCATION_COST_BYTES",
     "BranchNode",
     "CodegenError",
     "CompiledMLIR",
@@ -42,7 +49,9 @@ __all__ = [
     "generate_code",
     "generate_mlir_code",
     "load_entry",
+    "movement_score",
     "python_expr",
     "sdfg_movement_report",
+    "sdfg_score",
     "states_in_tree",
 ]

@@ -52,6 +52,33 @@ class MovementReport:
         )
 
 
+#: Bytes-equivalent cost charged per dynamic allocation by
+#: :func:`movement_score` — allocations sit on the critical path (the paper's
+#: §7 explanation for the `gcc`/`clang` gap), so a heap allocation is charged
+#: like moving one cache line's worth of data.
+ALLOCATION_COST_BYTES = 256.0
+
+
+def movement_score(
+    report: "MovementReport", allocation_cost_bytes: float = ALLOCATION_COST_BYTES
+) -> float:
+    """Scalar cost of a movement report — lower is better.
+
+    The score is the modeled byte traffic plus an allocation penalty:
+    ``bytes_moved + allocation_cost_bytes * allocations``.  It is a pure
+    function of the report, hence deterministic, and *monotone* in data
+    movement: adding any movement (e.g. a redundant copy state) or any
+    allocation strictly increases it.  The auto-tuner's static evaluator
+    ranks candidate pipelines by this number in place of measured runtime.
+    """
+    return float(report.bytes_moved + allocation_cost_bytes * report.allocations)
+
+
+def sdfg_score(sdfg: SDFG, symbols: Optional[Mapping[str, float]] = None) -> float:
+    """Static cost of an SDFG: :func:`movement_score` of its movement report."""
+    return movement_score(sdfg_movement_report(sdfg, symbols))
+
+
 def _evaluate(expression: Expr, symbols: Mapping[str, float], default: float = 1.0) -> float:
     try:
         return float(expression.evaluate(dict(symbols)))

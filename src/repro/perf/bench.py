@@ -15,6 +15,13 @@ reported under ``warm.violations`` (the CLI's
 ``--check-cached-counters`` turns that into a failing exit code, which
 CI uses as a benchmark smoke gate).
 
+``--compare BASELINE`` turns the run into a regression gate: per-pipeline
+cold compile totals (over the kernels both documents share) must stay
+within ``--tolerance`` (default 2x) of the committed baseline, or the
+exit code is non-zero — CI's guard against compile-time regressions
+slipping in silently.  Refresh the baseline by re-running the full sweep
+and committing the new ``BENCH_compile.json``.
+
 Entry points: ``python -m repro bench`` and
 ``benchmarks/bench_compile.py`` (both thin wrappers over
 :func:`run_bench` / :func:`render_summary`).
@@ -109,6 +116,10 @@ def run_bench(
                     best = {
                         "kernel": kernel,
                         "pipeline": pipeline,
+                        # Content address of the spec actually compiled —
+                        # makes entries diffable across runs and immune to
+                        # registry renames (self-describing CI artifacts).
+                        "spec_id": program.spec.content_id() if program.spec else None,
                         "seconds": seconds,
                         "stage_seconds": dict(program.stage_seconds),
                         "code_bytes": len(program.code),
@@ -188,6 +199,57 @@ def run_bench(
     }
 
 
+#: Default regression tolerance of :func:`compare_bench`: a pipeline's
+#: cold compile may be up to this factor slower than the committed
+#: baseline before the CI gate fails.  Generous by design — the baseline
+#: and the CI runner are different machines — but well inside the ~11x
+#: regression the hash-consing work guards against.
+DEFAULT_TOLERANCE = 2.0
+
+
+def compare_bench(
+    baseline: Dict, fresh: Dict, tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Compare two benchmark documents; returns regression messages.
+
+    Per-pipeline cold compile totals are compared over the (kernel,
+    pipeline) pairs present in *both* documents — a ``--quick`` run gates
+    against a full-suite baseline by comparing only the kernels it
+    compiled.  A pipeline regresses when its fresh total exceeds
+    ``tolerance`` × its baseline total; pipelines or kernels absent from
+    either side are skipped (they have no baseline to regress against).
+    An empty list means the gate passes.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"Tolerance must be positive, got {tolerance}")
+
+    def per_pair(document: Dict) -> Dict:
+        return {
+            (entry["kernel"], entry["pipeline"]): entry["seconds"]
+            for entry in document.get("cold", {}).get("entries", [])
+        }
+
+    base_pairs, fresh_pairs = per_pair(baseline), per_pair(fresh)
+    shared = sorted(set(base_pairs) & set(fresh_pairs))
+    base_totals: Dict[str, float] = {}
+    fresh_totals: Dict[str, float] = {}
+    for kernel, pipeline in shared:
+        base_totals[pipeline] = base_totals.get(pipeline, 0.0) + base_pairs[(kernel, pipeline)]
+        fresh_totals[pipeline] = fresh_totals.get(pipeline, 0.0) + fresh_pairs[(kernel, pipeline)]
+
+    regressions: List[str] = []
+    for pipeline in sorted(base_totals):
+        base_seconds = base_totals[pipeline]
+        fresh_seconds = fresh_totals[pipeline]
+        if base_seconds > 0 and fresh_seconds > tolerance * base_seconds:
+            regressions.append(
+                f"{pipeline}: cold compile {fresh_seconds * 1e3:.1f}ms vs baseline "
+                f"{base_seconds * 1e3:.1f}ms ({fresh_seconds / base_seconds:.2f}x > "
+                f"{tolerance:g}x tolerance)"
+            )
+    return regressions
+
+
 def write_bench(document: Dict, path) -> Path:
     """Write the benchmark document as pretty-printed JSON."""
     path = Path(path)
@@ -260,10 +322,37 @@ def add_bench_arguments(parser) -> None:
         "--check-cached-counters", action="store_true",
         help="exit non-zero if cached compiles performed any frontend/pass work",
     )
+    parser.add_argument(
+        "--compare", metavar="BASELINE",
+        help="compare against a committed BENCH_compile.json; exit non-zero when "
+        "any pipeline's cold compile regresses beyond the tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=f"regression factor allowed by --compare (default {DEFAULT_TOLERANCE}x)",
+    )
 
 
 def run_bench_cli(args) -> int:
     """Execute a parsed bench invocation; shared by CLI and script."""
+    baseline = None
+    if args.compare is not None:
+        # Refuse the self-comparison footgun up front: with --output left
+        # at its default, writing the fresh document first would both
+        # clobber the committed baseline and compare the run to itself
+        # (every ratio 1.0 — a gate that can never fail).
+        if Path(args.compare).resolve() == Path(args.output).resolve():
+            print(
+                f"error: --compare baseline {args.compare!r} is the same file as "
+                "--output; pass a different -o (e.g. -o BENCH_compile.fresh.json)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            baseline = json.loads(Path(args.compare).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.compare!r}: {exc}", file=sys.stderr)
+            return 1
     document = run_bench(
         kernels=args.kernels,
         pipelines=args.pipelines,
@@ -280,4 +369,15 @@ def run_bench_cli(args) -> int:
             file=sys.stderr,
         )
         return 1
+    if baseline is not None:
+        regressions = compare_bench(baseline, document, tolerance=args.tolerance)
+        if regressions:
+            print("error: compile-time regressions against the baseline:", file=sys.stderr)
+            for message in regressions:
+                print(f"  {message}", file=sys.stderr)
+            return 1
+        print(
+            f"no cold-compile regressions against {args.compare} "
+            f"(tolerance {args.tolerance:g}x)"
+        )
     return 0

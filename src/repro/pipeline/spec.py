@@ -233,6 +233,61 @@ class PipelineSpec:
             )
         return self.derive(control_passes=control, data_passes=data, **changes)
 
+    def with_codegen(self, **options) -> "PipelineSpec":
+        """Derived spec with some codegen flags replaced (an option sweep step).
+
+        Unknown option names raise :class:`PipelineError` — a typo'd flag
+        would otherwise content-alias the parent and silently re-report its
+        (cached) results.
+        """
+        known = self.codegen.to_dict()
+        for name in options:
+            if name not in known:
+                from ..passbase import suggest
+
+                raise PipelineError(
+                    f"Unknown codegen option {name!r}; "
+                    + suggest(name, list(known), "codegen options")
+                )
+        known.update(options)
+        return self.derive(codegen=CodegenOptions.from_dict(known))
+
+    def with_passes(self, stage: str, passes: Sequence["PassLike"], **changes) -> "PipelineSpec":
+        """Derived spec with one stage's pass list replaced.
+
+        ``stage`` is ``"control"`` or ``"data"`` — the two pass stages of
+        the paper's composition (§4 / §6).
+        """
+        if stage == "control":
+            return self.derive(control_passes=list(passes), **changes)
+        if stage == "data":
+            return self.derive(data_passes=list(passes), **changes)
+        raise PipelineError(f"Unknown pass stage {stage!r}; choose 'control' or 'data'")
+
+    def stage_passes(self, stage: str) -> List[PassSpec]:
+        """The (live) pass list of one stage, by stage name."""
+        if stage == "control":
+            return self.control_passes
+        if stage == "data":
+            return self.data_passes
+        raise PipelineError(f"Unknown pass stage {stage!r}; choose 'control' or 'data'")
+
+    def swap_passes(self, stage: str, first: int, second: int, **changes) -> "PipelineSpec":
+        """Derived spec with two passes of one stage exchanged (a reordering).
+
+        Indices follow Python semantics (negatives count from the end);
+        out-of-range indices raise :class:`PipelineError`.
+        """
+        passes = [PassSpec.of(p) for p in self.stage_passes(stage)]
+        try:
+            passes[first], passes[second] = passes[second], passes[first]
+        except IndexError:
+            raise PipelineError(
+                f"Pass indices ({first}, {second}) out of range for the "
+                f"{stage} stage of {self.label!r} ({len(passes)} passes)"
+            ) from None
+        return self.with_passes(stage, passes, **changes)
+
     def validate(self) -> "PipelineSpec":
         """Check pass names against the registries; raise :class:`PipelineError`.
 

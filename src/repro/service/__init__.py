@@ -22,6 +22,7 @@ from .batch import (
     CompileRequest,
     as_request,
     compile_many,
+    compile_specs,
     default_executor,
 )
 from .cache import (
@@ -31,7 +32,7 @@ from .cache import (
     cache_key,
     normalize_source,
 )
-from .session import Session, SuiteEntry, SuiteReport
+from .session import SUITE_SCHEMA, Session, SuiteEntry, SuiteReport
 
 __all__ = [
     "BatchOutcome",
@@ -39,12 +40,14 @@ __all__ = [
     "CacheStats",
     "CompileCache",
     "CompileRequest",
+    "SUITE_SCHEMA",
     "Session",
     "SuiteEntry",
     "SuiteReport",
     "as_request",
     "cache_key",
     "compile_many",
+    "compile_specs",
     "default_executor",
     "normalize_source",
 ]

@@ -35,6 +35,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..errors import PipelineError
+from ..perf import PERF
 from ..pipeline import CompileResult, generate_program, resolve_pipeline, result_from_payload
 from ..pipeline.spec import PipelineLike, pipeline_label
 from .cache import CompileCache, cache_key
@@ -164,8 +165,10 @@ def compile_many(
         if cache is not None:
             payload = cache.lookup(keys[index])
             if payload is not None:
+                PERF.increment("compile_cache.hits")
                 outcomes[index] = BatchOutcome(request=request, result=result_from_payload(payload))
                 continue
+            PERF.increment("compile_cache.misses")
         pending.append(index)
 
     kind = executor or default_executor()
@@ -235,3 +238,37 @@ def compile_many(
     if missing:  # pragma: no cover - every path above populates its index
         raise RuntimeError(f"compile_many left outcomes unset at indices {missing}")
     return outcomes
+
+
+def compile_specs(
+    source: str,
+    pipelines: Iterable[PipelineLike],
+    function: Optional[str] = None,
+    labels: Optional[Iterable[Optional[str]]] = None,
+    executor: Optional[str] = None,
+    max_workers: Optional[int] = None,
+    cache: Optional[CompileCache] = None,
+) -> List[BatchOutcome]:
+    """Compile *one* source through many pipelines — the sweep/tuning shape.
+
+    Thin wrapper over :func:`compile_many` for the common evaluation batch
+    where the kernel is fixed and the pipeline varies (ablation studies,
+    the auto-tuner's candidate evaluation).  The shared source is hashed
+    once per pipeline by the cache key, so equivalent specs — however the
+    caller produced them — deduplicate onto a single compilation.
+    """
+    pipelines = list(pipelines)
+    labels = list(labels) if labels is not None else [None] * len(pipelines)
+    if len(labels) != len(pipelines):
+        raise ValueError(
+            f"compile_specs got {len(pipelines)} pipelines but {len(labels)} labels"
+        )
+    return compile_many(
+        [
+            CompileRequest(source=source, pipeline=pipeline, function=function, name=label)
+            for pipeline, label in zip(pipelines, labels)
+        ],
+        executor=executor,
+        max_workers=max_workers,
+        cache=cache,
+    )

@@ -220,6 +220,18 @@ class CompileCache:
         # stale or corrupt disk entry is absent, not present.
         return self._read_disk(key) is not None
 
+    def contains_compile(
+        self, source: str, pipeline: PipelineLike = "dcir", function: Optional[str] = None
+    ) -> bool:
+        """Whether a compilation *request* is already cached (no compile runs).
+
+        Request-level companion of ``key in cache``: computes the content
+        address of (source, pipeline, function) and probes both stores
+        without touching statistics — lets sweep drivers predict which
+        items a batch will get for free without spelling out cache keys.
+        """
+        return cache_key(source, pipeline, function) in self
+
     # -- the cached compile entry point ---------------------------------------------
     def get_or_compile(
         self, source: str, pipeline: PipelineLike = "dcir", function: Optional[str] = None

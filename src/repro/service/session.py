@@ -14,7 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..pipeline import PAPER_PIPELINES, CompileResult, run_compiled
+from ..pipeline import PAPER_PIPELINES, CompileResult, resolve_pipeline, run_compiled
 from ..pipeline.spec import PipelineLike, pipeline_label
 from .batch import BatchOutcome, CompileRequest, compile_many
 from .cache import CacheStats, CompileCache
@@ -26,6 +26,10 @@ class SuiteEntry:
 
     workload: str
     pipeline: str
+    #: Content address (:meth:`~repro.PipelineSpec.content_id`) of the
+    #: pipeline spec this cell compiled through — the stable identity that
+    #: makes suite dumps diffable across runs and registry renames.
+    spec_id: Optional[str] = None
     compile_seconds: float = 0.0
     run_seconds: float = 0.0
     cache_hit: bool = False
@@ -38,6 +42,26 @@ class SuiteEntry:
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    def to_dict(self) -> Dict:
+        """JSON-stable snapshot of this cell."""
+        return {
+            "workload": self.workload,
+            "pipeline": self.pipeline,
+            "spec_id": self.spec_id,
+            "compile_seconds": self.compile_seconds,
+            "run_seconds": self.run_seconds,
+            "cache_hit": self.cache_hit,
+            "return_value": self.return_value,
+            "allocations": self.allocations,
+            "moved_bytes": self.moved_bytes,
+            "error": self.error,
+            "error_type": self.error_type,
+        }
+
+
+#: JSON schema tag of :meth:`SuiteReport.to_dict` documents.
+SUITE_SCHEMA = "repro-suite/v1"
 
 
 @dataclass
@@ -98,6 +122,24 @@ class SuiteReport:
             if mismatched:
                 bad[workload] = mismatched
         return bad
+
+    def to_dict(self) -> Dict:
+        """Self-describing, JSON-stable document of the whole suite run.
+
+        Carries the library version and the spec ``content_id`` of every
+        entry, so dumped artifacts (e.g. from CI) are diffable across runs
+        and unambiguous about exactly which pipeline contents produced
+        each number.
+        """
+        from .. import __version__
+
+        return {
+            "schema": SUITE_SCHEMA,
+            "version": __version__,
+            "wall_seconds": self.wall_seconds,
+            "cache_hits": self.cache_hits,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
 
     def table(self) -> str:
         """Render the report as an aligned text table."""
@@ -198,6 +240,16 @@ class Session:
         pairs = [(name, source, pipeline) for name, source in named for pipeline in pipelines]
         start = time.perf_counter()
 
+        # Content identity per pipeline (entries stay diffable even when a
+        # registered name is later redefined); unknown names stay None —
+        # their compile fails per-entry below with the real error.
+        spec_ids: Dict[int, Optional[str]] = {}
+        for position, pipeline in enumerate(pipelines):
+            try:
+                spec_ids[position] = resolve_pipeline(pipeline).content_id()
+            except Exception:
+                spec_ids[position] = None
+
         batched: List[Optional[BatchOutcome]] = [None] * len(pairs)
         if parallel and len(pairs) > 1:
             batched = self.compile_many(
@@ -207,7 +259,11 @@ class Session:
 
         report = SuiteReport()
         for index, (name, source, pipeline) in enumerate(pairs):
-            entry = SuiteEntry(workload=name, pipeline=pipeline_label(pipeline))
+            entry = SuiteEntry(
+                workload=name,
+                pipeline=pipeline_label(pipeline),
+                spec_id=spec_ids[index % len(pipelines)],
+            )
             outcome = batched[index]
             if outcome is not None and not outcome.ok:
                 # Already failed in the batch phase; don't recompile just to

@@ -1,0 +1,185 @@
+"""The pipeline search space: candidate specs derived from a base pipeline.
+
+The paper's evaluation (§7) compares six *fixed* pipeline compositions;
+the interesting space is between them — which pass ablations, orderings
+and codegen options actually win per kernel.  A :class:`SearchSpace`
+enumerates that neighbourhood of a base :class:`~repro.PipelineSpec`:
+
+* **seeds** — the base spec itself and (optionally) every registered
+  pipeline, so a search can never do worse than the best pre-registered
+  composition under the chosen evaluator;
+* **ablations** — ``base.without_pass(name)`` for every pass in the spec
+  (the §6.3-style single-pass ablation study);
+* **reorderings** — adjacent-pass swaps within each stage (pass order
+  *within* a stage is the free variable; the control → bridge → data
+  stage order is the paper's fixed architecture);
+* **iteration variants** — running a stage's fixpoint loop only once;
+* **codegen variants** — toggling the backend's
+  :class:`~repro.CodegenOptions` flags (only the flags that affect the
+  spec's selected backend, so every candidate is a *distinct* compilation).
+
+Candidates are deduplicated by spec :meth:`~repro.PipelineSpec.content_id`
+and enumerated in a deterministic order — the foundation of the seeded,
+byte-reproducible searches in :mod:`repro.tuning.strategy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from ..errors import PipelineError
+from ..pipeline import resolve_pipeline
+from ..pipeline.spec import PipelineLike, PipelineSpec
+
+#: Mutation stages a :class:`SearchSpace` can vary, in generation order.
+STAGES = ("control", "data", "codegen")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the search space: a spec plus its provenance.
+
+    ``origin`` says how the candidate was derived (``"base"``,
+    ``"registered:gcc"``, ``"ablate:map-fusion"``, ``"swap:data:3"``,
+    ``"codegen:vectorize=True"`` …) — reports keep it next to the spec's
+    content address so rankings read as an ablation study.
+    """
+
+    spec: PipelineSpec
+    origin: str
+    content_id: str = field(default="")
+
+    def __post_init__(self):
+        if not self.content_id:
+            object.__setattr__(self, "content_id", self.spec.content_id())
+
+    @property
+    def label(self) -> str:
+        return self.spec.name or self.origin
+
+
+class SearchSpace:
+    """Deterministic candidate enumeration around a base pipeline spec."""
+
+    def __init__(
+        self,
+        base: PipelineLike = "dcir",
+        include_registered: bool = True,
+        ablations: bool = True,
+        reorderings: bool = True,
+        iteration_variants: bool = True,
+        codegen_variants: bool = True,
+    ):
+        self.base = resolve_pipeline(base).validate()
+        self.base_label = base if isinstance(base, str) else self.base.label
+        self.include_registered = include_registered
+        self.ablations = ablations
+        self.reorderings = reorderings
+        self.iteration_variants = iteration_variants
+        self.codegen_variants = codegen_variants
+        self._candidates: "List[Candidate] | None" = None
+
+    # -- enumeration -----------------------------------------------------------------
+    def candidates(self) -> List[Candidate]:
+        """Every candidate: seeds first, then the base spec's neighbourhood.
+
+        Deduplicated by content address (first origin wins) in a stable
+        order, so the same registry state always yields the same list —
+        seeded random sampling over it is reproducible across processes.
+
+        Enumerating derives and content-hashes dozens of specs, so the
+        result is computed once and cached: the space is a snapshot of the
+        registry as of the first enumeration (pipelines registered later
+        do not appear as seeds).
+        """
+        if self._candidates is None:
+            self._candidates = _dedupe(list(self.seeds()) + self.neighbours(self.base))
+        return list(self._candidates)
+
+    def seeds(self) -> Iterable[Candidate]:
+        """The base spec and (optionally) every registered pipeline."""
+        yield Candidate(spec=self.base, origin="base")
+        if not self.include_registered:
+            return
+        from ..pipeline import get_pipeline, list_pipelines
+
+        for name in list_pipelines():
+            yield Candidate(spec=get_pipeline(name), origin=f"registered:{name}")
+
+    def neighbours(self, spec: PipelineSpec) -> List[Candidate]:
+        """All single-step mutations of ``spec``, across every stage."""
+        found: List[Candidate] = []
+        for stage in STAGES:
+            found.extend(self.stage_mutations(spec, stage))
+        return _dedupe(found)
+
+    def stage_mutations(self, spec: PipelineSpec, stage: str) -> List[Candidate]:
+        """Single-step mutations touching only one stage of ``spec``.
+
+        The greedy strategy optimizes stage by stage; exhaustive search
+        concatenates all three stages via :meth:`neighbours`.
+        """
+        if stage == "codegen":
+            return self._codegen_mutations(spec)
+        if stage not in ("control", "data"):
+            raise PipelineError(f"Unknown search stage {stage!r}; choose one of {STAGES}")
+        found: List[Candidate] = []
+        passes = spec.stage_passes(stage)
+        if self.ablations:
+            seen: set = set()
+            for pass_spec in passes:
+                if pass_spec.name in seen:
+                    continue  # without_pass removes every occurrence
+                seen.add(pass_spec.name)
+                found.append(Candidate(
+                    spec=spec.without_pass(pass_spec.name),
+                    origin=f"ablate:{pass_spec.name}",
+                ))
+        if self.reorderings:
+            for index in range(len(passes) - 1):
+                found.append(Candidate(
+                    spec=spec.swap_passes(stage, index, index + 1),
+                    origin=f"swap:{stage}:{passes[index].name}<->{passes[index + 1].name}",
+                ))
+        if self.iteration_variants and passes:
+            field_name = f"{stage}_max_iterations"
+            if getattr(spec, field_name) != 1:
+                found.append(Candidate(
+                    spec=spec.derive(**{field_name: 1}),
+                    origin=f"iterations:{stage}=1",
+                ))
+        return found
+
+    def _codegen_mutations(self, spec: PipelineSpec) -> List[Candidate]:
+        if not self.codegen_variants:
+            return []
+        # Only flags that reach the spec's backend: toggling an ignored
+        # flag would create a new content address for a byte-identical
+        # compilation (a wasted candidate).
+        flags = ("vectorize",) if spec.bridge else ("native_scalars", "preallocate")
+        found: List[Candidate] = []
+        for flag in flags:
+            value = not getattr(spec.codegen, flag)
+            found.append(Candidate(
+                spec=spec.with_codegen(**{flag: value}),
+                origin=f"codegen:{flag}={value}",
+            ))
+        return found
+
+    def __len__(self) -> int:
+        return len(self.candidates())
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchSpace(base={self.base_label!r}, "
+            f"candidates={len(self.candidates())})"
+        )
+
+
+def _dedupe(candidates: Iterable[Candidate]) -> List[Candidate]:
+    """Drop content-duplicate candidates, keeping the first origin."""
+    unique: Dict[str, Candidate] = {}
+    for candidate in candidates:
+        unique.setdefault(candidate.content_id, candidate)
+    return list(unique.values())

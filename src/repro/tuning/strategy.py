@@ -1,0 +1,163 @@
+"""Search strategies: which candidates to evaluate, in what order.
+
+A :class:`Strategy` drives the search over a
+:class:`~repro.tuning.space.SearchSpace` by feeding candidate batches to
+an evaluation callback (provided by the tuner; it dispatches the batch in
+parallel through the compile cache).  Three are built in:
+
+* :class:`ExhaustiveStrategy` — every candidate of the space, one batch;
+* :class:`GreedyStrategy` — stage-by-stage hill climbing: evaluate all
+  single-step mutations of the incumbent's control stage, adopt the best
+  improvement, then the data stage, then codegen, repeating for up to
+  ``rounds`` sweeps (so it can discover *combinations* of mutations the
+  one-step space never contains);
+* :class:`RandomStrategy` — seeded uniform sampling with an evaluation
+  budget; the sample is drawn with :class:`random.Random` over the
+  space's deterministic candidate order, so the same seed yields the same
+  candidates (and hence the same winner) in any process.
+
+Every strategy honors ``budget`` (maximum candidate evaluations) and the
+base spec is always evaluated first — a search can report "nothing beat
+the base" but never "we didn't look at it".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import PipelineError
+from ..passbase import suggest
+from .evaluate import EvaluatedCandidate
+from .space import STAGES, Candidate, SearchSpace
+
+#: Evaluation callback: scores a candidate batch, index-aligned.
+EvaluateFn = Callable[[Sequence[Candidate]], List[EvaluatedCandidate]]
+
+
+class Strategy:
+    """Explores a search space through an evaluation callback."""
+
+    #: Registry/CLI name of the strategy.
+    name = "abstract"
+
+    def __init__(self, budget: Optional[int] = None):
+        if budget is not None and budget < 1:
+            raise PipelineError(f"Strategy budget must be >= 1, got {budget}")
+        self.budget = budget
+
+    def run(self, space: SearchSpace, evaluate: EvaluateFn) -> List[EvaluatedCandidate]:
+        """Search the space; returns every evaluated candidate (any order)."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """JSON-stable description recorded in the tuning report."""
+        return {"name": self.name, "budget": self.budget}
+
+    def _clip(self, candidates: List[Candidate], spent: int) -> List[Candidate]:
+        """Trim a batch to what the remaining budget allows."""
+        if self.budget is None:
+            return candidates
+        return candidates[: max(0, self.budget - spent)]
+
+
+class ExhaustiveStrategy(Strategy):
+    """Evaluate every candidate in the space (one parallel batch)."""
+
+    name = "exhaustive"
+
+    def run(self, space, evaluate):
+        return evaluate(self._clip(space.candidates(), 0))
+
+
+class RandomStrategy(Strategy):
+    """Seeded uniform sampling of the space under an evaluation budget."""
+
+    name = "random"
+
+    def __init__(self, budget: Optional[int] = 16, seed: int = 0):
+        super().__init__(budget=budget if budget is not None else 16)
+        self.seed = int(seed)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "budget": self.budget, "seed": self.seed}
+
+    def run(self, space, evaluate):
+        pool = space.candidates()
+        base, rest = pool[0], pool[1:]
+        count = min(len(rest), max(0, self.budget - 1))
+        # The pool order is deterministic for a given registry state, so
+        # Random(seed).sample picks identical candidates in every process.
+        sample = random.Random(self.seed).sample(rest, count)
+        return evaluate([base] + sample)
+
+
+class GreedyStrategy(Strategy):
+    """Stage-by-stage hill climbing from the base spec.
+
+    Each round sweeps the stages in order, evaluating every single-step
+    mutation of the current incumbent within that stage and adopting the
+    best strict improvement.  Stops after ``rounds`` sweeps, when a full
+    sweep yields no improvement, or when the budget runs out.
+    """
+
+    name = "greedy"
+
+    def __init__(self, budget: Optional[int] = None, rounds: int = 2):
+        super().__init__(budget=budget)
+        if rounds < 1:
+            raise PipelineError(f"Greedy rounds must be >= 1, got {rounds}")
+        self.rounds = int(rounds)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "budget": self.budget, "rounds": self.rounds}
+
+    def run(self, space, evaluate):
+        evaluated: List[EvaluatedCandidate] = list(evaluate([Candidate(space.base, "base")]))
+        best = evaluated[0] if evaluated[0].ok else None
+        seen = {entry.content_id for entry in evaluated}
+        for _ in range(self.rounds):
+            if best is None:  # the base itself failed; nothing to climb from
+                break
+            improved = False
+            for stage in STAGES:
+                batch = [
+                    candidate
+                    for candidate in space.stage_mutations(best.candidate.spec, stage)
+                    if candidate.content_id not in seen
+                ]
+                batch = self._clip(batch, len(evaluated))
+                if not batch:
+                    continue
+                seen.update(candidate.content_id for candidate in batch)
+                results = evaluate(batch)
+                evaluated.extend(results)
+                scored = [entry for entry in results if entry.ok]
+                if not scored:
+                    continue
+                top = min(scored, key=lambda entry: (entry.score, entry.content_id))
+                if top.score < best.score:
+                    best = top
+                    improved = True
+            if not improved:
+                break
+        return evaluated
+
+
+#: Registered strategy constructors, by CLI name.
+STRATEGIES = {
+    ExhaustiveStrategy.name: ExhaustiveStrategy,
+    GreedyStrategy.name: GreedyStrategy,
+    RandomStrategy.name: RandomStrategy,
+}
+
+
+def get_strategy(name: str, **options) -> Strategy:
+    """Build a strategy by registered name (``exhaustive``/``greedy``/``random``)."""
+    try:
+        factory = STRATEGIES[name]
+    except KeyError:
+        raise PipelineError(
+            f"Unknown strategy {name!r}; " + suggest(name, list(STRATEGIES), "strategies")
+        ) from None
+    return factory(**options)

@@ -8,13 +8,21 @@ from .casestudies import (
     syrk_source,
 )
 from .mish import mish_source, reference_checksum, run_eager, run_jit
-from .polybench import EXCLUDED, KERNELS, get_kernel, kernel_names, polybench_suite
+from .polybench import (
+    EXCLUDED,
+    KERNELS,
+    default_sizes,
+    get_kernel,
+    kernel_names,
+    polybench_suite,
+)
 
 __all__ = [
     "EXCLUDED",
     "KERNELS",
     "bandwidth_source",
     "casestudies",
+    "default_sizes",
     "fig2_source",
     "get_kernel",
     "kernel_names",

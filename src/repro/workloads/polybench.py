@@ -38,14 +38,17 @@ def _register(name: str, source: str, **sizes: int) -> None:
     KERNELS[name] = (source, dict(sizes))
 
 
-def get_kernel(name: str, sizes: Dict[str, int] | None = None) -> str:
-    """Instantiate a kernel's C source with concrete problem sizes.
+def default_sizes(name: str) -> Dict[str, int]:
+    """Default problem-size bindings of a kernel (a fresh, editable dict).
 
+    These are the sizes :func:`get_kernel` substitutes when the caller
+    passes none — recorded by benchmark and tuning reports so dumped
+    artifacts state exactly which problem instance produced each number.
     Unknown names raise :class:`~repro.errors.PipelineError` listing the
     available kernels and suggesting the closest match.
     """
     try:
-        template, defaults = KERNELS[name]
+        _, defaults = KERNELS[name]
     except KeyError:
         from ..errors import PipelineError
         from ..passbase import suggest
@@ -53,7 +56,17 @@ def get_kernel(name: str, sizes: Dict[str, int] | None = None) -> str:
         raise PipelineError(
             f"Unknown kernel {name!r}; " + suggest(name, sorted(KERNELS), "available kernels")
         ) from None
-    bindings = dict(defaults)
+    return dict(defaults)
+
+
+def get_kernel(name: str, sizes: Dict[str, int] | None = None) -> str:
+    """Instantiate a kernel's C source with concrete problem sizes.
+
+    Unknown names raise the same suggestion-bearing error as
+    :func:`default_sizes`.
+    """
+    bindings = default_sizes(name)
+    template, _ = KERNELS[name]
     if sizes:
         bindings.update(sizes)
     source = template

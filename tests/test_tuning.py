@@ -1,0 +1,536 @@
+"""Tests for the pipeline auto-tuning subsystem and its CI plumbing.
+
+Covers the search space (deterministic, deduplicated candidate
+enumeration), the spec mutation helpers behind it, seeded-search
+reproducibility, the two acceptance invariants — the winner never loses
+to the best pre-registered pipeline under the same evaluator, and a
+repeat search over the same space is served entirely from the compile
+cache with zero frontend/pass work — plus winner registration, the
+``tune`` CLI, the bench regression gate (:func:`compare_bench`) and the
+self-describing JSON reports (library version + spec ``content_id`` on
+every entry).
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    PipelineError,
+    PipelineSpec,
+    Session,
+    __version__,
+    get_pipeline,
+    unregister_pipeline,
+)
+from repro.__main__ import main as cli_main
+from repro.perf.bench import compare_bench
+from repro.service import CompileCache, compile_specs
+from repro.tuning import (
+    Candidate,
+    ExhaustiveStrategy,
+    GreedyStrategy,
+    RandomStrategy,
+    RuntimeEvaluator,
+    SearchSpace,
+    StaticEvaluator,
+    get_evaluator,
+    get_strategy,
+    register_winner,
+    tune,
+    tune_kernel,
+)
+from repro.workloads import get_kernel
+
+SIZES = {"NI": 6, "NJ": 7, "NK": 8}
+
+
+def _session(**kwargs):
+    return Session(cache=CompileCache(max_entries=1024, use_env_directory=False), **kwargs)
+
+
+# -- spec mutation helpers ---------------------------------------------------------------
+
+
+class TestSpecMutationHelpers:
+    def test_with_codegen_toggles_one_flag(self):
+        dcir = get_pipeline("dcir")
+        vec = dcir.with_codegen(vectorize=True)
+        assert vec.codegen.vectorize and not dcir.codegen.vectorize
+        assert vec.content_id() == get_pipeline("dcir+vec").content_id()
+
+    def test_with_codegen_rejects_unknown_flags(self):
+        with pytest.raises(PipelineError, match="vectorize"):
+            get_pipeline("dcir").with_codegen(vectorise=True)
+
+    def test_swap_passes_changes_content_and_order(self):
+        dcir = get_pipeline("dcir")
+        swapped = dcir.swap_passes("data", 0, 1)
+        assert swapped.content_id() != dcir.content_id()
+        assert [p.name for p in swapped.data_passes[:2]] == [
+            dcir.data_passes[1].name,
+            dcir.data_passes[0].name,
+        ]
+        # Swapping back restores the original content identity.
+        assert swapped.swap_passes("data", 0, 1).content_id() == dcir.content_id()
+
+    def test_swap_passes_range_and_stage_validation(self):
+        dcir = get_pipeline("dcir")
+        with pytest.raises(PipelineError, match="out of range"):
+            dcir.swap_passes("data", 0, 99)
+        with pytest.raises(PipelineError, match="stage"):
+            dcir.swap_passes("codegen", 0, 1)
+
+    def test_with_passes_replaces_one_stage(self):
+        dcir = get_pipeline("dcir")
+        trimmed = dcir.with_passes("control", ["canonicalize", "dce"])
+        assert [p.name for p in trimmed.control_passes] == ["canonicalize", "dce"]
+        assert [p.name for p in trimmed.data_passes] == [
+            p.name for p in dcir.data_passes
+        ]
+
+
+# -- search space ------------------------------------------------------------------------
+
+
+class TestSearchSpace:
+    def test_candidates_are_deduplicated_by_content(self):
+        candidates = SearchSpace("dcir").candidates()
+        ids = [candidate.content_id for candidate in candidates]
+        assert len(ids) == len(set(ids))
+        # dcir is both the base and a registered seed: only "base" survives.
+        origins = [candidate.origin for candidate in candidates]
+        assert "base" in origins and "registered:dcir" not in origins
+        # dcir+vec duplicates the codegen:vectorize toggle of the base.
+        assert sum(1 for o in origins if o.startswith("codegen:")) == 0
+        assert "registered:dcir+vec" in origins
+
+    def test_enumeration_is_deterministic(self):
+        first = [c.content_id for c in SearchSpace("dcir").candidates()]
+        second = [c.content_id for c in SearchSpace("dcir").candidates()]
+        assert first == second
+
+    def test_base_is_always_first(self):
+        assert SearchSpace("gcc").candidates()[0].origin == "base"
+
+    def test_ablations_cover_every_distinct_pass(self):
+        space = SearchSpace("dcir", include_registered=False, reorderings=False,
+                            iteration_variants=False, codegen_variants=False)
+        dcir = get_pipeline("dcir")
+        expected = {p.name for p in dcir.control_passes + dcir.data_passes}
+        ablated = {
+            candidate.origin.split(":", 1)[1]
+            for candidate in space.candidates()
+            if candidate.origin.startswith("ablate:")
+        }
+        assert ablated == expected
+
+    def test_non_bridge_base_sweeps_mlir_codegen_flags(self):
+        space = SearchSpace("gcc", include_registered=False, ablations=False,
+                            reorderings=False, iteration_variants=False)
+        origins = {c.origin for c in space.candidates() if c.origin.startswith("codegen:")}
+        assert origins == {"codegen:native_scalars=False", "codegen:preallocate=False"}
+
+    def test_stage_mutations_rejects_unknown_stage(self):
+        space = SearchSpace("dcir")
+        with pytest.raises(PipelineError, match="stage"):
+            space.stage_mutations(space.base, "frontend")
+
+
+# -- strategies and evaluators -----------------------------------------------------------
+
+
+class TestStrategies:
+    def test_random_strategy_is_seed_deterministic(self):
+        space = SearchSpace("dcir")
+        picks = []
+        for _ in range(2):
+            batches = []
+            RandomStrategy(budget=6, seed=42).run(space, lambda b: batches.extend(b) or [])
+            picks.append([c.content_id for c in batches])
+        assert picks[0] == picks[1]
+        assert len(picks[0]) == 6
+        assert picks[0][0] == space.base.content_id()  # base always evaluated
+
+    def test_different_seeds_sample_differently(self):
+        space = SearchSpace("dcir")
+
+        def sample(seed):
+            batch = []
+            RandomStrategy(budget=8, seed=seed).run(space, lambda b: batch.extend(b) or [])
+            return [c.content_id for c in batch]
+
+        assert sample(0) != sample(1)
+
+    def test_budget_caps_evaluations(self):
+        space = SearchSpace("dcir")
+        seen = []
+        ExhaustiveStrategy(budget=5).run(space, lambda b: seen.extend(b) or [])
+        assert len(seen) == 5
+
+    def test_registry_lookup_errors_suggest(self):
+        with pytest.raises(PipelineError, match="exhaustive"):
+            get_strategy("exhaustve")
+        with pytest.raises(PipelineError, match="static"):
+            get_evaluator("sttic")
+
+    def test_invalid_configuration_is_rejected(self):
+        with pytest.raises(PipelineError, match="budget"):
+            ExhaustiveStrategy(budget=0)
+        with pytest.raises(PipelineError, match="rounds"):
+            GreedyStrategy(rounds=0)
+
+
+# -- tuning end-to-end -------------------------------------------------------------------
+
+
+class TestTuning:
+    def test_winner_at_least_matches_best_registered_pipeline(self):
+        """Acceptance: registered seeds bound the winner from above."""
+        report = tune_kernel("gemm", sizes=SIZES, session=_session())
+        assert report.winner is not None
+        best_registered = report.best_registered()
+        assert best_registered is not None
+        assert report.winner.score <= best_registered.score
+
+    def test_seeded_search_is_reproducible(self):
+        first = tune_kernel("gemm", sizes=SIZES, budget=8, seed=0, session=_session())
+        second = tune_kernel("gemm", sizes=SIZES, budget=8, seed=0, session=_session())
+        assert first.winner_id == second.winner_id
+        assert [e.content_id for e in first.ranking] == [
+            e.content_id for e in second.ranking
+        ]
+
+    def test_repeat_run_is_pure_cache_reuse_with_zero_work(self):
+        """Acceptance: second search = all cache hits, no frontend/pass work."""
+        session = _session()
+        first = tune_kernel("gemm", sizes=SIZES, budget=8, seed=0, session=session)
+        second = tune_kernel("gemm", sizes=SIZES, budget=8, seed=0, session=session)
+        assert first.counters.get("frontend.runs", 0) > 0
+        assert second.counters == {}
+        assert second.cache_misses == 0
+        assert second.cache_hits == len(second.ranking)
+        assert all(entry.cache_hit for entry in second.ranking)
+        assert second.winner_id == first.winner_id
+
+    def test_counters_account_for_every_fresh_compile(self):
+        """Fresh compiles of later-disqualified candidates (e.g. the
+        unscorable MLIR seeds under the static evaluator) still count:
+        counters == {} must mean literally zero compile work happened."""
+        report = tune_kernel("gemm", sizes=SIZES, session=_session())
+        fresh = sum(1 for entry in report.ranking if not entry.cache_hit)
+        unscorable = sum(1 for entry in report.ranking if not entry.ok)
+        assert unscorable > 0  # gcc/clang/mlir seeds cannot be scored statically
+        assert report.counters.get("frontend.runs") == fresh
+
+    def test_tune_kernel_rejects_seed_without_budget(self):
+        with pytest.raises(PipelineError, match="budget"):
+            tune_kernel("gemm", sizes=SIZES, seed=7, session=_session())
+
+    def test_search_space_enumeration_is_cached(self):
+        space = SearchSpace("dcir")
+        assert space.candidates() is not space.candidates()  # callers get copies
+        assert [c.content_id for c in space.candidates()] == [
+            c.content_id for c in space.candidates()
+        ]
+        assert len(space) == len(space.candidates())
+
+    def test_greedy_strategy_never_loses_to_the_base(self):
+        session = _session()
+        report = tune_kernel(
+            "gemm", sizes=SIZES, strategy=GreedyStrategy(rounds=1), session=session,
+            space=SearchSpace("dcir", include_registered=False),
+        )
+        base_entry = next(
+            entry for entry in report.ranking if entry.candidate.origin == "base"
+        )
+        assert report.winner is not None
+        assert report.winner.score <= base_entry.score
+
+    def test_runtime_evaluator_scores_and_checks_results(self):
+        space = SearchSpace("dcir", include_registered=False, reorderings=False,
+                            iteration_variants=False, codegen_variants=False)
+        report = tune(
+            get_kernel("gemm", SIZES),
+            strategy=ExhaustiveStrategy(budget=4),
+            evaluator=RuntimeEvaluator(repetitions=2),
+            space=space,
+            session=_session(executor="serial"),
+            kernel="gemm",
+        )
+        assert report.evaluator == "runtime"
+        assert report.winner is not None
+        scored = [entry for entry in report.ranking if entry.ok]
+        assert all(entry.run_seconds > 0 for entry in scored)
+
+    def test_unsound_candidates_are_disqualified_not_ranked(self):
+        session = _session(executor="serial")
+        source = get_kernel("gemm", SIZES)
+        base = get_pipeline("dcir")
+        candidates = [Candidate(base.derive(), "identity")]
+
+        sound = RuntimeEvaluator(repetitions=1).evaluate(
+            source, candidates, session, base=base
+        )
+        assert sound[0].ok  # the faithful candidate matches the base checksum
+
+        # Poison the memoized base reference: the differential check must
+        # now disqualify the candidate instead of ranking it.
+        poisoned = RuntimeEvaluator(repetitions=1)
+        reference = poisoned._reference(source, session, None, base)
+        key = next(iter(poisoned._references))
+        poisoned._references[key] = reference + 1000.0
+        mismatched = poisoned.evaluate(source, candidates, session, base=base)
+        assert not mismatched[0].ok
+        assert mismatched[0].error_type == "ResultMismatch"
+        assert mismatched[0].score is None
+
+    def test_error_candidates_rank_after_scored_ones(self):
+        bad = PipelineSpec(control_passes=["canonicalize"])
+        bad.control_passes[0].name = "no-such-pass"  # bypass of() validation
+        evaluated = StaticEvaluator().evaluate(
+            get_kernel("gemm", SIZES),
+            [Candidate(get_pipeline("dcir"), "base"), Candidate(bad, "broken")],
+            _session(executor="serial"),
+        )
+        from repro.tuning import rank_candidates
+
+        ranking = rank_candidates(evaluated)
+        assert ranking[0].ok and not ranking[-1].ok
+        assert ranking[-1].error_type is not None
+
+    def test_static_evaluator_honors_custom_symbols(self):
+        """Custom symbols must still score (regression: batch results are
+        payload rehydrations without a live SDFG, so the symbols path has
+        to recompile in-process instead of reporting Unscorable)."""
+        report = tune_kernel(
+            "gemm", sizes=SIZES, budget=4, seed=0,
+            evaluator=StaticEvaluator(symbols={"UNUSED": 64.0}),
+            session=_session(executor="serial"),
+        )
+        assert report.winner is not None
+        default = tune_kernel(
+            "gemm", sizes=SIZES, budget=4, seed=0, session=_session(executor="serial")
+        )
+        # gemm bakes its sizes in as constants, so an unused symbol binding
+        # must not change any score or the elected winner.
+        assert report.winner_id == default.winner_id
+        assert report.winner.score == default.winner.score
+
+    def test_custom_symbols_recompiles_are_booked_as_compile_work(self):
+        """The symbols fallback re-runs the pipeline even for cache-hit
+        candidates; that work must land in report.counters, or the report
+        would prove a 'zero-work' run while N full compiles executed."""
+        session = _session(executor="serial")
+        tune_kernel("gemm", sizes=SIZES, budget=3, seed=0, session=session)  # warm
+        report = tune_kernel(
+            "gemm", sizes=SIZES, budget=3, seed=0,
+            evaluator=StaticEvaluator(symbols={"UNUSED": 8.0}), session=session,
+        )
+        assert report.cache_misses == 0  # every payload came from the cache
+        assert report.counters.get("frontend.runs", 0) > 0  # ...but work happened
+
+    def test_static_evaluator_cannot_score_mlir_backends(self):
+        evaluated = StaticEvaluator().evaluate(
+            get_kernel("gemm", SIZES),
+            [Candidate(get_pipeline("gcc"), "registered:gcc")],
+            _session(executor="serial"),
+        )
+        assert not evaluated[0].ok
+        assert evaluated[0].error_type == "Unscorable"
+
+
+# -- winner registration -----------------------------------------------------------------
+
+
+class TestWinnerRegistration:
+    def test_register_winner_preserves_content_identity(self):
+        session = _session()
+        report = tune_kernel("gemm", sizes=SIZES, budget=6, seed=1, session=session)
+        try:
+            spec = register_winner(report, "test-tuned", overwrite=True)
+            assert spec.name == "test-tuned"
+            assert spec.content_id() == report.winner_id
+            # Compiling by the new name hits the tuning run's cache entry.
+            result = session.compile(get_kernel("gemm", SIZES), "test-tuned")
+            assert result.cache_hit
+        finally:
+            unregister_pipeline("test-tuned")
+
+    def test_register_winner_requires_a_winner(self):
+        from repro.tuning import TuningReport
+
+        empty = TuningReport(kernel="gemm", base_id="x", base_label="dcir")
+        with pytest.raises(PipelineError, match="no scorable candidate"):
+            register_winner(empty, "nope")
+
+
+# -- reports are self-describing ---------------------------------------------------------
+
+
+class TestReportsSelfDescribing:
+    def test_tuning_report_carries_version_and_content_ids(self, tmp_path):
+        report = tune_kernel("gemm", sizes=SIZES, budget=5, seed=0, session=_session())
+        document = report.to_dict()
+        assert document["schema"] == "repro-tune/v1"
+        assert document["version"] == __version__
+        assert document["kernel"] == "gemm"
+        assert document["sizes"]["NI"] == SIZES["NI"]
+        assert document["strategy"] == {"name": "random", "budget": 5, "seed": 0}
+        for rank, entry in enumerate(document["candidates"], start=1):
+            assert entry["rank"] == rank
+            assert entry["content_id"]
+            assert entry["spec"] is not None
+        assert document["winner"]["content_id"] == report.winner_id
+        # The embedded winner spec round-trips to the same content address.
+        rebuilt = PipelineSpec.from_dict(document["winner"]["spec"])
+        assert rebuilt.content_id() == report.winner_id
+
+        path = report.write(tmp_path / "tune.json")
+        assert json.loads(path.read_text())["winner"]["content_id"] == report.winner_id
+
+    def test_suite_report_carries_version_and_spec_ids(self):
+        session = _session()
+        suite = session.run_suite(
+            {"gemm": get_kernel("gemm", SIZES)}, pipelines=("gcc", "dcir")
+        )
+        document = suite.to_dict()
+        assert document["schema"] == "repro-suite/v1"
+        assert document["version"] == __version__
+        assert len(document["entries"]) == 2
+        for entry in document["entries"]:
+            assert entry["spec_id"]
+        assert document["entries"][0]["spec_id"] == get_pipeline("gcc").content_id()
+        assert document["entries"][1]["spec_id"] == get_pipeline("dcir").content_id()
+
+    def test_bench_entries_carry_spec_ids(self):
+        from repro.perf.bench import run_bench
+
+        document = run_bench(kernels=["gemm"], pipelines=["gcc", "dcir"])
+        for entry in document["cold"]["entries"]:
+            assert entry["spec_id"]
+        assert document["cold"]["entries"][1]["spec_id"] == (
+            get_pipeline("dcir").content_id()
+        )
+
+
+# -- service plumbing --------------------------------------------------------------------
+
+
+class TestServicePlumbing:
+    def test_contains_compile_probes_without_compiling(self):
+        cache = CompileCache(use_env_directory=False)
+        source = get_kernel("gemm", SIZES)
+        assert not cache.contains_compile(source, "dcir")
+        cache.get_or_compile(source, "dcir")
+        assert cache.contains_compile(source, "dcir")
+        assert not cache.contains_compile(source, "gcc")
+
+    def test_compile_specs_sweeps_one_source_over_many_pipelines(self):
+        source = get_kernel("gemm", SIZES)
+        outcomes = compile_specs(
+            source, ["gcc", get_pipeline("dcir")], labels=["g", "d"], executor="serial"
+        )
+        assert [outcome.request.label for outcome in outcomes] == ["g", "d"]
+        assert all(outcome.ok for outcome in outcomes)
+
+    def test_compile_specs_validates_label_alignment(self):
+        with pytest.raises(ValueError, match="labels"):
+            compile_specs("int f() { return 0; }", ["gcc", "dcir"], labels=["only-one"])
+
+
+# -- the bench regression gate -----------------------------------------------------------
+
+
+def _bench_doc(entries):
+    return {"cold": {"entries": [
+        {"kernel": k, "pipeline": p, "seconds": s} for k, p, s in entries
+    ]}}
+
+
+class TestCompareBench:
+    def test_no_regressions_within_tolerance(self):
+        baseline = _bench_doc([("gemm", "dcir", 0.10), ("atax", "dcir", 0.10)])
+        fresh = _bench_doc([("gemm", "dcir", 0.15), ("atax", "dcir", 0.18)])
+        assert compare_bench(baseline, fresh, tolerance=2.0) == []
+
+    def test_regression_beyond_tolerance_is_reported(self):
+        baseline = _bench_doc([("gemm", "dcir", 0.10), ("gemm", "gcc", 0.05)])
+        fresh = _bench_doc([("gemm", "dcir", 0.25), ("gemm", "gcc", 0.06)])
+        regressions = compare_bench(baseline, fresh, tolerance=2.0)
+        assert len(regressions) == 1
+        assert regressions[0].startswith("dcir:")
+        assert "2.50x" in regressions[0]
+
+    def test_only_shared_pairs_are_compared(self):
+        # Baseline covers the full suite; fresh is a --quick subset plus a
+        # new kernel the baseline never saw — neither mismatch may trip.
+        baseline = _bench_doc([("gemm", "dcir", 0.10), ("lu", "dcir", 5.00)])
+        fresh = _bench_doc([("gemm", "dcir", 0.11), ("brand-new", "dcir", 9.99)])
+        assert compare_bench(baseline, fresh, tolerance=2.0) == []
+
+    def test_tolerance_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            compare_bench(_bench_doc([]), _bench_doc([]), tolerance=0)
+
+    def test_bench_cli_refuses_to_self_compare(self, tmp_path, capsys):
+        """--compare == --output would clobber the baseline and compare the
+        run against itself (a gate that can never fail) — refuse up front,
+        before any sweep runs or the file is touched."""
+        from repro.perf.bench import main as bench_main
+
+        baseline = tmp_path / "BENCH_compile.json"
+        baseline.write_text(json.dumps(_bench_doc([("gemm", "dcir", 0.1)])))
+        before = baseline.read_text()
+        code = bench_main(["--quick", "--compare", str(baseline), "-o", str(baseline)])
+        assert code == 2
+        assert "same file" in capsys.readouterr().err
+        assert baseline.read_text() == before
+
+
+# -- the tune CLI ------------------------------------------------------------------------
+
+
+class TestTuneCLI:
+    def test_tune_cli_writes_a_self_describing_report(self, tmp_path, capsys):
+        out = tmp_path / "tune.json"
+        code = cli_main([
+            "tune", "--kernel", "gemm", "--size", "NI=6", "NJ=7", "NK=8",
+            "--budget", "6", "--seed", "0", "--executor", "serial", "-o", str(out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "winner:" in printed
+        document = json.loads(out.read_text())
+        assert document["schema"] == "repro-tune/v1"
+        assert document["version"] == __version__
+        assert document["winner"]["content_id"]
+        assert document["strategy"] == {"name": "random", "budget": 6, "seed": 0}
+        assert document["sizes"]["NI"] == 6  # --size overrides the default
+
+    def test_tune_cli_is_deterministic_across_invocations(self, tmp_path):
+        winners = []
+        for tag in ("a", "b"):
+            out = tmp_path / f"tune-{tag}.json"
+            assert cli_main([
+                "tune", "--kernel", "gemm", "--size", "NI=6", "NJ=7", "NK=8",
+                "--budget", "6", "--seed", "0", "--executor", "serial",
+                "-o", str(out),
+            ]) == 0
+            winners.append(json.loads(out.read_text())["winner"]["content_id"])
+        assert winners[0] == winners[1]
+
+    def test_tune_cli_rejects_unknown_kernel(self, capsys):
+        assert cli_main(["tune", "--kernel", "gemmm", "--budget", "2"]) == 2
+        assert "gemm" in capsys.readouterr().err
+
+    def test_tune_cli_rejects_inapplicable_options(self):
+        # --seed without --budget would silently run an unseeded exhaustive
+        # search; the CLI must refuse instead of ignoring the option.
+        with pytest.raises(SystemExit, match="--seed"):
+            cli_main(["tune", "--kernel", "gemm", "--seed", "7"])
+        with pytest.raises(SystemExit, match="--rounds"):
+            cli_main(["tune", "--kernel", "gemm", "--rounds", "3"])
+        with pytest.raises(SystemExit, match="--repetitions"):
+            cli_main(["tune", "--kernel", "gemm", "--budget", "2", "--seed", "0",
+                      "--repetitions", "5"])
