@@ -61,17 +61,27 @@ compiles batches in parallel, and runs whole workload suites::
     report = session.run_polybench(["gemm", "atax"], pipelines=("gcc", "dcir"))
     print(report.table())
 
+Data-centric passes are pattern-based transformations
+(:mod:`repro.transforms`): each separates ``match(sdfg) -> list[Match]``
+(deterministic site enumeration) from ``apply_match(sdfg, match)``
+(one-site rewrite), records per-run match/application counts on its
+:class:`~repro.passbase.PassRecord`, and declares tunable parameters
+(``MapTiling(tile_size=16)``, ``Vectorization(width=8)``) that serialize
+through :class:`PassSpec` params into the spec's content address.
+
 Auto-tuning (:mod:`repro.tuning`) searches the pipeline space *between*
 the six compositions per kernel — ablations, reorderings, codegen-option
-sweeps — with pluggable strategies and evaluators, every candidate batch
-deduplicated through the compile cache::
+sweeps, transformation-parameter presets and tiled/vectorized schedule
+additions — with pluggable strategies and evaluators, every candidate
+batch deduplicated through the compile cache::
 
     report = tune_kernel("gemm", budget=8, seed=0)   # reproducible search
     register_winner(report, "gemm-tuned")            # now a named pipeline
 
 A command-line interface mirrors the library: ``python -m repro
 list-pipelines``, ``python -m repro compile``, ``python -m repro run``,
-``python -m repro tune`` (see ``python -m repro --help``).
+``python -m repro tune``, ``python -m repro transforms list|match`` (see
+``python -m repro --help``).
 """
 
 from .pipeline import (
@@ -94,7 +104,7 @@ from .pipeline import (
     unregister_pipeline,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from .service import (  # noqa: E402  (needs __version__ for cache keys)
     CompileCache,

@@ -8,8 +8,14 @@ Mirrors the library's pipeline API:
   feed it back via ``--spec`` to build ablations without writing Python);
 * ``compile`` — compile a C file or a named PolyBench kernel through a
   registered pipeline or a spec JSON file, printing the generated code or
-  per-stage statistics;
+  per-stage statistics (``--verbose`` adds per-pass records including the
+  pattern engine's match/application counts);
 * ``run`` — compile and execute, printing the return value and timings;
+* ``transforms list`` — registered data-centric passes; pattern-based
+  transformations show their drain policy and tunable parameter axes;
+* ``transforms match`` — compile a kernel up to the point a transformation
+  would run and print its matched sites (``--json`` for machine-readable
+  output) — the "what would this rewrite touch" query;
 * ``tune`` — auto-tune the pipeline composition for a kernel: search
   ablations/reorderings/codegen variants of a base pipeline
   (``--pipeline``/``--spec``) with a pluggable strategy and evaluator,
@@ -124,7 +130,31 @@ def _cmd_list_pipelines(args) -> int:
 
 
 def _cmd_show_pipeline(args) -> int:
-    print(json.dumps(get_pipeline(args.name).to_dict(), indent=2, sort_keys=True))
+    spec = get_pipeline(args.name)
+    print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+    if args.verbose:
+        # Per-pass detail on stderr so stdout stays parseable JSON.
+        from .passes import CONTROL_PASSES
+        from .transforms import DATA_PASSES
+        from .transforms.rewrite import Transformation, transformation_parameters
+
+        print("# passes:", file=sys.stderr)
+        for stage, registry in (("control", CONTROL_PASSES), ("data", DATA_PASSES)):
+            for pass_spec in spec.stage_passes(stage):
+                cls = registry.get(pass_spec.name)
+                if isinstance(cls, type) and issubclass(cls, Transformation):
+                    axes = ", ".join(
+                        f"{param}∈{list(presets)}" for param, presets in cls.PARAMS.items()
+                    )
+                    defaults = transformation_parameters(cls)
+                    detail = f"pattern-based (drain {cls.DRAIN})"
+                    if axes:
+                        detail += f", params: {axes}, defaults {defaults}"
+                else:
+                    detail = "whole-graph pass"
+                params = f" {pass_spec.params}" if pass_spec.params else ""
+                print(f"#   {stage:<8} {pass_spec.name:<34}{params} — {detail}",
+                      file=sys.stderr)
     return 0
 
 
@@ -132,20 +162,91 @@ def _cmd_compile(args) -> int:
     program = generate_program(
         _load_source(args), _load_pipeline(args), function=args.function
     )
-    if args.stats:
+    if args.stats or args.verbose:
         print(f"pipeline: {program.pipeline}")
         print(f"compile:  {program.compile_seconds * 1e3:.2f} ms")
         for stage, seconds in program.stage_seconds.items():
             print(f"  {stage:<10} {seconds * 1e3:8.2f} ms")
         print(f"code:     {len(program.code)} bytes")
+        if args.verbose and program.report is not None:
+            # Per-pass records with the pattern engine's site accounting.
+            from .passbase import match_suffix
+
+            for stage_report in program.report.stages:
+                if not stage_report.records:
+                    continue
+                print(f"{stage_report.stage} passes:")
+                for record in stage_report.records:
+                    print(
+                        f"  {record.name:<34} changed={record.changed!s:<5} "
+                        f"{record.seconds * 1e3:8.2f} ms" + match_suffix(record)
+                    )
     elif args.output is None:
         sys.stdout.write(program.code)
-    else:
+    if args.output is not None:
         try:
             with open(args.output, "w", encoding="utf-8") as output:
                 output.write(program.code)
         except OSError as exc:
             raise SystemExit(f"Cannot write {args.output!r}: {exc}")
+    return 0
+
+
+def _cmd_transforms(args) -> int:
+    from .transforms import DATA_PASSES
+    from .transforms.rewrite import Transformation, transformation_parameters
+
+    if args.transforms_command == "list":
+        for name in DATA_PASSES.names():
+            cls = DATA_PASSES.get(name)
+            if not issubclass(cls, Transformation):
+                print(f"{name:<34} whole-graph pass")
+                continue
+            detail = f"pattern-based  drain={cls.DRAIN:<7}"
+            if cls.ADDABLE:
+                detail += " addable"
+            if args.verbose and cls.PARAMS:
+                defaults = transformation_parameters(cls)
+                axes = ", ".join(
+                    f"{param}={defaults[param]!r} ∈ {list(presets)}"
+                    for param, presets in cls.PARAMS.items()
+                )
+                detail += f"  [{axes}]"
+            elif cls.PARAMS:
+                detail += "  params: " + ", ".join(cls.PARAMS)
+            print(f"{name:<34} {detail}")
+        return 0
+
+    # transforms match
+    from .pipeline import generate_sdfg
+
+    cls = DATA_PASSES.get(args.name)
+    if not issubclass(cls, Transformation):
+        raise SystemExit(
+            f"{args.name!r} is a whole-graph pass without a match enumeration; "
+            "see 'transforms list'"
+        )
+    params = {}
+    for item in args.param or []:
+        key, _, value = item.partition("=")
+        if not _ or not key:
+            raise SystemExit(f"Bad --param {item!r}: expected NAME=JSON-VALUE")
+        try:
+            params[key] = json.loads(value)
+        except ValueError:
+            params[key] = value
+    transformation = DATA_PASSES.build(args.name, params)
+    sdfg = generate_sdfg(
+        _load_source(args), _load_pipeline(args), function=args.function,
+        stop_before=args.name,
+    )
+    matches = transformation.matches(sdfg)
+    if args.json:
+        print(json.dumps([m.to_dict() for m in matches], indent=2))
+    else:
+        for m in matches:
+            print(f"[{m.index}] {m.describe()}")
+        print(f"{len(matches)} match(es) for {args.name!r}")
     return 0
 
 
@@ -246,6 +347,10 @@ def build_parser() -> argparse.ArgumentParser:
         "show-pipeline", help="print a registered pipeline spec as JSON"
     )
     show_parser.add_argument("name", help="registered pipeline name")
+    show_parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="add per-pass detail (pattern engine, parameter axes) on stderr",
+    )
     show_parser.set_defaults(func=_cmd_show_pipeline)
 
     compile_parser = subparsers.add_parser(
@@ -253,8 +358,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_compile_arguments(compile_parser)
     compile_parser.add_argument("--stats", action="store_true", help="print per-stage statistics")
+    compile_parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print per-pass records with pattern match/application counts",
+    )
     compile_parser.add_argument("-o", "--output", help="write generated code to a file")
     compile_parser.set_defaults(func=_cmd_compile)
+
+    transforms_parser = subparsers.add_parser(
+        "transforms", help="inspect the pattern-based transformation catalog"
+    )
+    transforms_sub = transforms_parser.add_subparsers(
+        dest="transforms_command", required=True
+    )
+    transforms_list = transforms_sub.add_parser(
+        "list", help="list registered data-centric passes and their parameters"
+    )
+    transforms_list.add_argument(
+        "-v", "--verbose", action="store_true", help="show parameter defaults and presets"
+    )
+    transforms_list.set_defaults(func=_cmd_transforms)
+    transforms_match = transforms_sub.add_parser(
+        "match",
+        help="enumerate a transformation's matched sites on a kernel's SDFG",
+    )
+    _add_compile_arguments(transforms_match)
+    transforms_match.add_argument("name", help="registered transformation name")
+    transforms_match.add_argument(
+        "--param", nargs="*", metavar="NAME=VALUE",
+        help="transformation parameters (JSON values, e.g. tile_size=16)",
+    )
+    transforms_match.add_argument(
+        "--json", action="store_true", help="print matches as JSON"
+    )
+    transforms_match.set_defaults(func=_cmd_transforms)
 
     run_parser = subparsers.add_parser("run", help="compile and execute a kernel")
     _add_compile_arguments(run_parser)

@@ -12,6 +12,7 @@ from .control_flow import (
 )
 from .cost_model import (
     ALLOCATION_COST_BYTES,
+    ITERATION_COST_BYTES,
     MovementReport,
     movement_score,
     sdfg_movement_report,
@@ -25,11 +26,13 @@ from .sdfg_python import (
     SDFGPythonGenerator,
     compile_sdfg,
     generate_code,
+    vectorizable_map,
     python_expr,
 )
 
 __all__ = [
     "ALLOCATION_COST_BYTES",
+    "ITERATION_COST_BYTES",
     "BranchNode",
     "CodegenError",
     "CompiledMLIR",
@@ -47,6 +50,7 @@ __all__ = [
     "compile_mlir",
     "compile_sdfg",
     "generate_code",
+    "vectorizable_map",
     "generate_mlir_code",
     "load_entry",
     "movement_score",

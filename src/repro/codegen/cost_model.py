@@ -13,7 +13,7 @@ performance-counter analysis when explaining *why* one pipeline is faster.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..symbolic import Expr, Integer, SymbolicError
 from ..sdfg import SDFG, AccessNode, SDFGState
@@ -32,12 +32,22 @@ from .control_flow import (
 
 @dataclass
 class MovementReport:
-    """Aggregate data-movement statistics for one program."""
+    """Aggregate data-movement statistics for one program.
+
+    ``iterations`` models dynamic loop overhead: the total number of
+    innermost-body executions of state-machine loops *and* map scopes.  A
+    map annotated for vector emission (``Vectorization``) executes its
+    body as one vector operation, so it contributes 1 per dynamic
+    execution instead of its range product — which is how the static
+    model scores tiled/vectorized schedules differently from their scalar
+    originals despite identical byte traffic.
+    """
 
     elements_moved: float = 0.0
     bytes_moved: float = 0.0
     allocations: float = 0.0
     allocated_bytes: float = 0.0
+    iterations: float = 0.0
     per_container: Dict[str, float] = field(default_factory=dict)
 
     def add(self, container: str, elements: float, element_bytes: int) -> None:
@@ -48,7 +58,8 @@ class MovementReport:
     def __str__(self) -> str:
         return (
             f"MovementReport(elements={self.elements_moved:.0f}, "
-            f"bytes={self.bytes_moved:.0f}, allocations={self.allocations:.0f})"
+            f"bytes={self.bytes_moved:.0f}, allocations={self.allocations:.0f}, "
+            f"iterations={self.iterations:.0f})"
         )
 
 
@@ -58,20 +69,35 @@ class MovementReport:
 #: like moving one cache line's worth of data.
 ALLOCATION_COST_BYTES = 256.0
 
+#: Bytes-equivalent cost charged per dynamic loop/map iteration by
+#: :func:`movement_score` — loop bookkeeping (index arithmetic, branch)
+#: costs roughly as much as moving a couple of bytes.  This is what makes
+#: vector emission (one vector operation instead of N scalar iterations)
+#: visible to the static evaluator.
+ITERATION_COST_BYTES = 2.0
+
 
 def movement_score(
-    report: "MovementReport", allocation_cost_bytes: float = ALLOCATION_COST_BYTES
+    report: "MovementReport",
+    allocation_cost_bytes: float = ALLOCATION_COST_BYTES,
+    iteration_cost_bytes: float = ITERATION_COST_BYTES,
 ) -> float:
     """Scalar cost of a movement report — lower is better.
 
-    The score is the modeled byte traffic plus an allocation penalty:
-    ``bytes_moved + allocation_cost_bytes * allocations``.  It is a pure
+    The score is the modeled byte traffic plus allocation and
+    loop-overhead penalties: ``bytes_moved + allocation_cost_bytes *
+    allocations + iteration_cost_bytes * iterations``.  It is a pure
     function of the report, hence deterministic, and *monotone* in data
-    movement: adding any movement (e.g. a redundant copy state) or any
-    allocation strictly increases it.  The auto-tuner's static evaluator
-    ranks candidate pipelines by this number in place of measured runtime.
+    movement: adding any movement (e.g. a redundant copy state), any
+    allocation or any loop iteration strictly increases it.  The
+    auto-tuner's static evaluator ranks candidate pipelines by this
+    number in place of measured runtime.
     """
-    return float(report.bytes_moved + allocation_cost_bytes * report.allocations)
+    return float(
+        report.bytes_moved
+        + allocation_cost_bytes * report.allocations
+        + iteration_cost_bytes * report.iterations
+    )
 
 
 def sdfg_score(sdfg: SDFG, symbols: Optional[Mapping[str, float]] = None) -> float:
@@ -104,6 +130,7 @@ def _walk(sdfg: SDFG, node: ControlFlowNode, multiplier: float, symbols, report)
         _count_state(sdfg, node.state, multiplier, symbols, report)
     elif isinstance(node, LoopNode):
         trips = _loop_trip_count(sdfg, node, symbols)
+        report.iterations += multiplier * trips
         _count_state(sdfg, node.guard, multiplier * (trips + 1), symbols, report)
         _walk(sdfg, node.body, multiplier * trips, symbols, report)
     elif isinstance(node, BranchNode):
@@ -113,6 +140,43 @@ def _walk(sdfg: SDFG, node: ControlFlowNode, multiplier: float, symbols, report)
     elif isinstance(node, DispatchNode):
         for state in node.states:
             _count_state(sdfg, state, multiplier, symbols, report)
+
+
+def _scope_context(scope, innermost, symbols) -> "Tuple[Dict[str, float], float]":
+    """Bindings and iteration scale of an enclosing map-scope chain.
+
+    Walks the scope chain outermost-first, multiplying each map's range
+    product into the scale and binding its parameters to their range
+    *starts* — so scope-dependent inner bounds (the ``[t, min(t + T, N))``
+    ranges tiling creates) evaluate to their typical (first-tile) extent
+    instead of silently defaulting to 1.
+    """
+    chain = []
+    current = innermost
+    while current is not None:
+        chain.append(current)
+        current = scope.get(current)
+    bindings: Dict[str, float] = dict(symbols)
+    scale = 1.0
+    for entry in reversed(chain):
+        for param, rng in zip(entry.map.params, entry.map.ranges):
+            scale *= max(1.0, _evaluate(rng.num_elements(), bindings, default=1.0))
+            bindings[param] = _evaluate(rng.start, bindings, default=0.0)
+    return bindings, scale
+
+
+def _map_body_executions(map_obj, symbols) -> float:
+    """Dynamic body executions of one map scope per enclosing execution.
+
+    The range product for scalar loops; 1 for maps annotated for vector
+    emission (the body runs as a single vector operation).
+    """
+    if map_obj.vectorized:
+        return 1.0
+    product = 1.0
+    for rng in map_obj.ranges:
+        product *= max(1.0, _evaluate(rng.num_elements(), symbols, default=1.0))
+    return product
 
 
 def _loop_trip_count(sdfg: SDFG, node: LoopNode, symbols) -> float:
@@ -140,6 +204,14 @@ def _count_state(sdfg: SDFG, state: SDFGState, multiplier: float, symbols, repor
             report.allocated_bytes += multiplier * _evaluate(descriptor.size_in_bytes(), symbols)
 
     scope = state.scope_dict()
+
+    # Loop overhead of map scopes: each map contributes its dynamic body
+    # executions (own range product — or 1 per execution when annotated
+    # for vector emission — times every enclosing scope's contribution).
+    for entry in state.map_entries():
+        bindings, scale = _scope_context(scope, scope.get(entry), symbols)
+        report.iterations += multiplier * scale * _map_body_executions(entry.map, bindings)
+
     for edge in state.edges():
         memlet = edge.data
         if memlet.is_empty or memlet.data is None:
@@ -151,14 +223,15 @@ def _count_state(sdfg: SDFG, state: SDFGState, multiplier: float, symbols, repor
         # nodes), once per edge, scaled by enclosing map ranges.
         if not isinstance(edge.src, AccessNode) and not isinstance(edge.dst, AccessNode):
             continue
-        elements = _evaluate(memlet.volume, symbols, default=1.0)
-        scale = multiplier
-        entry = scope.get(edge.src) or scope.get(edge.dst)
-        while entry is not None:
-            for rng in entry.map.ranges:
-                scale *= max(1.0, _evaluate(rng.num_elements(), symbols, default=1.0))
-            entry = scope.get(entry)
-        report.add(memlet.data, elements * scale, descriptor.element_bytes())
+        # Scale by the scopes enclosing the *access-node* endpoint: a
+        # boundary memlet's propagated volume already aggregates the
+        # per-iteration traffic of the scope it crosses, so scaling it by
+        # the code-side endpoint's scope would double-count (and make
+        # strip-mining look like it reduced traffic).
+        anchor = edge.src if isinstance(edge.src, AccessNode) else edge.dst
+        bindings, scope_scale = _scope_context(scope, scope.get(anchor), symbols)
+        elements = _evaluate(memlet.volume, bindings, default=1.0)
+        report.add(memlet.data, elements * multiplier * scope_scale, descriptor.element_bytes())
 
     # Persistent allocations are counted once, attributed to the start state.
     if state is sdfg.start_state:

@@ -47,6 +47,30 @@ class CodegenError(Exception):
     """Raised when an SDFG cannot be turned into executable code."""
 
 
+def vectorizable_map(state, entry: "MapEntry", members) -> bool:
+    """Whether a map scope can be emitted as a vector (numpy) operation.
+
+    Shared between the code generator (the global ``vectorize`` flag of
+    the ``dcir+vec`` pipeline vectorizes every eligible map) and the
+    ``Vectorization`` transformation (which annotates individual maps):
+    single parameter, no nested scopes, assignment-only tasklets, and no
+    WCR updates (vector semantics would reorder the reduction).
+    """
+    if len(entry.map.params) != 1:
+        return False
+    for node in members:
+        if isinstance(node, MapEntry):
+            return False
+        if isinstance(node, Tasklet):
+            for line in node.code.splitlines():
+                if not re.match(r"^\s*\w+\s*=[^=].*$", line) and line.strip():
+                    return False
+        for edge in state.in_edges(node) + state.out_edges(node):
+            if edge.data.wcr is not None:
+                return False
+    return True
+
+
 def python_expr(expression: Expr) -> str:
     """Render a symbolic expression as Python source."""
     text = str(expression)
@@ -355,7 +379,9 @@ class SDFGPythonGenerator:
             expression = self._read_expression(state, edge, value_names)
             writer.emit(f"{edge.dst_conn} = {expression}")
         code = tasklet.code
-        if self.vectorize and vector_param is not None:
+        if vector_param is not None:
+            # Vector emission (global flag or per-map annotation): scalar
+            # math functions become their numpy element-wise equivalents.
             code = code.replace("math.", "np.")
         for line in code.splitlines():
             writer.emit(line)
@@ -444,7 +470,10 @@ class SDFGPythonGenerator:
             for node in state.topological_nodes()
             if scope.get(node) is entry and node is not exit_node
         ]
-        vectorizable = self.vectorize and self._vectorizable(state, entry, members)
+        vectorizable = (
+            (self.vectorize or entry.map.vectorized)
+            and self._vectorizable(state, entry, members)
+        )
         params = entry.map.params
         ranges = entry.map.ranges
 
@@ -480,19 +509,7 @@ class SDFGPythonGenerator:
             self._emit_access_copies(state, node, value_names)
 
     def _vectorizable(self, state, entry: MapEntry, members) -> bool:
-        if len(entry.map.params) != 1:
-            return False
-        for node in members:
-            if isinstance(node, MapEntry):
-                return False
-            if isinstance(node, Tasklet):
-                for line in node.code.splitlines():
-                    if not re.match(r"^\s*\w+\s*=[^=].*$", line) and line.strip():
-                        return False
-            for edge in state.in_edges(node) + state.out_edges(node):
-                if edge.data.wcr is not None:
-                    return False
-        return True
+        return vectorizable_map(state, entry, members)
 
     # -- subset rendering ----------------------------------------------------------------------------
     @staticmethod

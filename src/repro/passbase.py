@@ -55,11 +55,20 @@ class PassBase:
 
 @dataclass
 class PassRecord:
-    """Execution record of a single pass invocation."""
+    """Execution record of a single pass invocation.
+
+    ``matches``/``applied`` carry the pattern-engine accounting of
+    :class:`repro.transforms.Transformation` passes — how many sites the
+    pass's pattern matched and how many it rewrote during this invocation.
+    They stay ``None`` for passes without the match/apply contract
+    (control-centric passes, plain whole-graph passes).
+    """
 
     name: str
     changed: bool
     seconds: float
+    matches: Optional[int] = None
+    applied: Optional[int] = None
 
 
 #: Backwards-compatible alias (the control-centric layer's historical name).
@@ -104,9 +113,26 @@ class StageReport:
             totals[record.name] = totals.get(record.name, 0.0) + record.seconds
         return totals
 
+    def match_totals(self) -> Dict[str, Dict[str, int]]:
+        """Aggregated pattern accounting per pass name.
+
+        ``{name: {"matches": total, "applied": total}}`` over every
+        invocation that reported match counts (pattern-based passes run
+        once per fixpoint iteration; the totals sum across iterations).
+        """
+        totals: Dict[str, Dict[str, int]] = {}
+        for record in self.records:
+            if record.matches is None and record.applied is None:
+                continue
+            entry = totals.setdefault(record.name, {"matches": 0, "applied": 0})
+            entry["matches"] += record.matches or 0
+            entry["applied"] += record.applied or 0
+        return totals
+
     def summary(self) -> str:
         lines = [
             f"{record.name:<34} changed={record.changed} {record.seconds * 1e3:8.2f} ms"
+            + _match_suffix(record)
             for record in self.records
         ]
         lines.append(f"{'total':<34} {'':13} {self.total_seconds * 1e3:8.2f} ms")
@@ -161,12 +187,27 @@ class CompilationReport:
             for record in report.records:
                 lines.append(
                     f"    {record.name:<32} changed={record.changed} "
-                    f"{record.seconds * 1e3:8.2f} ms"
+                    f"{record.seconds * 1e3:8.2f} ms" + _match_suffix(record)
                 )
         lines.append(f"  {'total':<10} {self.total_seconds * 1e3:8.2f} ms")
         for name in sorted(self.counters):
             lines.append(f"  {name:<40} {self.counters[name]:12g}")
         return "\n".join(lines)
+
+
+def match_suffix(record: PassRecord) -> str:
+    """Render a record's pattern accounting (empty for plain passes).
+
+    The single renderer of the ``matches=… applied=…`` tail, shared by the
+    report summaries here and the CLI's ``compile --verbose`` output.
+    """
+    if record.matches is None and record.applied is None:
+        return ""
+    return f"  matches={record.matches or 0} applied={record.applied or 0}"
+
+
+#: Backwards-compatible private alias.
+_match_suffix = match_suffix
 
 
 class PassRunner:
@@ -202,7 +243,12 @@ class PassRunner:
                 start = time.perf_counter()
                 changed = bool(pass_obj.run(target))
                 elapsed = time.perf_counter() - start
-                report.records.append(PassRecord(pass_obj.name, changed, elapsed))
+                report.records.append(PassRecord(
+                    pass_obj.name, changed, elapsed,
+                    # Pattern-based passes report per-invocation site counts.
+                    matches=getattr(pass_obj, "last_matches", None),
+                    applied=getattr(pass_obj, "last_applied", None),
+                ))
                 PERF.increment("passes.runs")
                 if changed:
                     PERF.increment("passes.applied")

@@ -36,6 +36,7 @@ from .pipelines import (
     compile_and_run,
     compile_c,
     generate_program,
+    generate_sdfg,
     load_runner,
     result_from_payload,
     run_compiled,
@@ -61,6 +62,7 @@ __all__ = [
     "compile_and_run",
     "compile_c",
     "generate_program",
+    "generate_sdfg",
     "get_pipeline",
     "list_pipelines",
     "load_runner",

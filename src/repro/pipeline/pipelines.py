@@ -64,8 +64,10 @@ from .spec import PipelineLike, PipelineSpec, pipeline_label
 #: Version tag of the serialized program payload; bump when the payload
 #: layout or the semantics of generated code change incompatibly.
 #: (v2: declarative-pipeline payloads carry the spec and stage timings;
-#: v3: payloads carry the compile-time profiler counters.)
-PAYLOAD_VERSION = 3
+#: v3: payloads carry the compile-time profiler counters;
+#: v4: movement snapshots carry the loop/map iteration count the cost
+#: model's iteration-overhead term scores.)
+PAYLOAD_VERSION = 4
 
 
 @dataclass
@@ -175,6 +177,7 @@ class GeneratedProgram:
                 "bytes_moved": report.bytes_moved,
                 "allocations": report.allocations,
                 "allocated_bytes": report.allocated_bytes,
+                "iterations": report.iterations,
                 "per_container": dict(report.per_container),
             }
             eliminated = list(self.sdfg.eliminated_containers)
@@ -228,6 +231,7 @@ def result_from_payload(payload: Dict) -> CompileResult:
             bytes_moved=snapshot.get("bytes_moved", 0.0),
             allocations=snapshot.get("allocations", 0.0),
             allocated_bytes=snapshot.get("allocated_bytes", 0.0),
+            iterations=snapshot.get("iterations", 0.0),
             per_container=dict(snapshot.get("per_container", {})),
         )
     spec = None
@@ -261,7 +265,7 @@ def available_functions(module) -> List[str]:
 
 def _build_control_runner(spec: PipelineSpec) -> PassRunner:
     return PassRunner(
-        [CONTROL_PASSES.build(p.name, p.options) for p in spec.control_passes],
+        [CONTROL_PASSES.build(p.name, p.params) for p in spec.control_passes],
         max_iterations=spec.control_max_iterations,
         stage="control",
     )
@@ -269,10 +273,51 @@ def _build_control_runner(spec: PipelineSpec) -> PassRunner:
 
 def _build_data_runner(spec: PipelineSpec) -> PassRunner:
     return PassRunner(
-        [DATA_PASSES.build(p.name, p.options) for p in spec.data_passes],
+        [DATA_PASSES.build(p.name, p.params) for p in spec.data_passes],
         max_iterations=spec.data_max_iterations,
         stage="data",
     )
+
+
+def generate_sdfg(
+    source: str,
+    pipeline: PipelineLike = "dcir",
+    function: Optional[str] = None,
+    stop_before: Optional[str] = None,
+) -> SDFG:
+    """Compile up to the data-centric stage and return the live SDFG.
+
+    Runs frontend → control passes → bridge, then the spec's data-centric
+    passes — all of them, or only those *before* the first occurrence of
+    ``stop_before`` (the natural point to enumerate that pass's matches:
+    the graph it would actually see).  The spec must cross the bridge.
+
+    This is the workhorse of ``python -m repro transforms match``.
+    """
+    spec = resolve_pipeline(pipeline).validate()
+    if not spec.bridge:
+        raise PipelineError(
+            f"Pipeline {spec.label!r} never builds an SDFG (bridge=False); "
+            "pick a data-centric pipeline such as 'dcir'"
+        )
+    data_passes = list(spec.data_passes)
+    if stop_before is not None:
+        index = next(
+            (i for i, p in enumerate(data_passes) if p.name == stop_before),
+            len(data_passes),
+        )
+        data_passes = data_passes[:index]
+        spec = spec.with_passes("data", data_passes,
+                                name=spec.name, description=spec.description)
+
+    module = compile_c_to_mlir(source, **spec.frontend_options)
+    require_function(module, function)
+    if spec.control_passes:
+        _build_control_runner(spec).run(module)
+    sdfg = mlir_to_sdfg(module, function=function)
+    if spec.data_passes:
+        _build_data_runner(spec).run(sdfg)
+    return sdfg
 
 
 def generate_program(

@@ -42,38 +42,63 @@ from ..errors import PipelineError
 
 @dataclass
 class PassSpec:
-    """One pass invocation inside a spec: a registered name plus options.
+    """One pass invocation inside a spec: a registered name plus parameters.
 
-    Options are passed to the pass constructor as keyword arguments when
-    the pipeline is built.
+    ``params`` are passed to the pass constructor as keyword arguments
+    when the pipeline is built — for pattern-based transformations these
+    are the tunable transformation parameters (``tile_size``, ``width``,
+    ``max_elements``, plus the universal ``only_matches`` /
+    ``max_applications``).  They are part of the canonical serialization,
+    so a parameter change produces a new spec ``content_id`` (and hence a
+    new compile-cache address).  ``options`` remains as a read/write alias
+    of ``params`` for older call sites, and :meth:`of`/:meth:`to_dict`
+    accept the legacy ``"options"`` serialization key.
     """
 
     name: str
-    options: Dict[str, object] = field(default_factory=dict)
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def options(self) -> Dict[str, object]:
+        """Alias of :attr:`params` (the historical field name)."""
+        return self.params
+
+    @options.setter
+    def options(self, value: Dict[str, object]) -> None:
+        self.params = value
 
     @classmethod
     def of(cls, item: "PassLike") -> "PassSpec":
-        """Coerce a name, ``(name, options)`` pair or dict into a spec.
+        """Coerce a name, ``(name, params)`` pair or dict into a spec.
 
         Always returns a fresh instance — ``PipelineSpec.__post_init__``
         routes every pass list through here, so two specs never share
-        ``PassSpec`` objects (or their options dicts), even when one is
+        ``PassSpec`` objects (or their params dicts), even when one is
         derived from the other's lists.
         """
         if isinstance(item, PassSpec):
-            return cls(name=item.name, options=copy.deepcopy(dict(item.options)))
+            return cls(name=item.name, params=copy.deepcopy(dict(item.params)))
         if isinstance(item, str):
             return cls(name=item)
         if isinstance(item, Mapping):
-            return cls(name=item["name"], options=dict(item.get("options") or {}))
+            params = item.get("params")
+            if params is None:
+                params = item.get("options")  # legacy serialization key
+            return cls(name=item["name"], params=dict(params or {}))
         if isinstance(item, Sequence) and len(item) == 2:
-            return cls(name=item[0], options=dict(item[1] or {}))
+            return cls(name=item[0], params=dict(item[1] or {}))
         raise PipelineError(f"Cannot interpret {item!r} as a pass specification")
+
+    def with_params(self, **params) -> "PassSpec":
+        """A fresh spec with some parameters replaced (a tuning-axis step)."""
+        merged = copy.deepcopy(dict(self.params))
+        merged.update(params)
+        return PassSpec(name=self.name, params=merged)
 
     def to_dict(self) -> Dict:
         # Deep-copied so serialized snapshots (and spec copies built from
-        # them) never alias nested mutable option values.
-        return {"name": self.name, "options": copy.deepcopy(dict(self.options))}
+        # them) never alias nested mutable parameter values.
+        return {"name": self.name, "params": copy.deepcopy(dict(self.params))}
 
 
 PassLike = Union[PassSpec, str, Mapping, Sequence]

@@ -87,7 +87,19 @@ class Tasklet(CodeNode):
 
 
 class Map:
-    """A parametric parallel iteration space shared by an entry/exit pair."""
+    """A parametric parallel iteration space shared by an entry/exit pair.
+
+    Scheduling annotations set by the parameterized transformations
+    (:mod:`repro.transforms.map_parameterized`):
+
+    * ``vectorized`` — emit this map as a vector operation (numpy arange
+      semantics) instead of a scalar loop; set by ``Vectorization``.  The
+      global ``vectorize`` codegen flag has the same effect on every
+      eligible map (the ``dcir+vec`` pipeline).
+    * ``tiling`` — the tile size this map was strip-mined with; set on the
+      *outer* (tile-loop) map by ``MapTiling`` so the pattern does not
+      re-match maps it already created.
+    """
 
     def __init__(self, label: str, params: Sequence[str], ranges: Sequence[Range]):
         if len(params) != len(ranges):
@@ -95,6 +107,8 @@ class Map:
         self.label = label
         self.params: List[str] = list(params)
         self.ranges: List[Range] = list(ranges)
+        self.vectorized: bool = False
+        self.tiling: Optional[int] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         spec = ", ".join(f"{p}={r}" for p, r in zip(self.params, self.ranges))

@@ -328,6 +328,17 @@ class SDFG:
             for node in state.nodes():
                 yield state, node
 
+    def map_entries(self) -> Iterator:
+        """Yield ``(state, map entry)`` pairs in deterministic order.
+
+        The enumeration order (state order, then topological node order)
+        is the order pattern-based map transformations number their
+        matches in.
+        """
+        for state in self.states():
+            for entry in state.map_entries():
+                yield state, entry
+
     # -- high-level pipeline hooks (implemented in repro.transforms) ------------------------------
     def validate(self) -> None:
         from .validation import validate_sdfg

@@ -227,6 +227,27 @@ class SDFGState:
             if isinstance(edge.dst, AccessNode) and edge.dst.data == data and not edge.data.is_empty
         ]
 
+    # -- scope queries -----------------------------------------------------------------------
+    def map_entries(self) -> List[MapEntry]:
+        """Map-scope entries of this state, in topological (deterministic) order."""
+        return [node for node in self.topological_nodes() if isinstance(node, MapEntry)]
+
+    def scope_children(self) -> Dict[Optional[MapEntry], List[Node]]:
+        """Nodes per innermost enclosing scope (``None`` = top level).
+
+        The inverse view of :meth:`scope_dict`; node lists follow the
+        state's topological order, so consumers enumerate scope members
+        deterministically.
+        """
+        scope = self.scope_dict()
+        children: Dict[Optional[MapEntry], List[Node]] = {None: []}
+        for entry in scope.values():
+            if entry is not None:
+                children.setdefault(entry, [])
+        for node in self.topological_nodes():
+            children.setdefault(scope.get(node), []).append(node)
+        return children
+
     # -- scopes ------------------------------------------------------------------------------
     def scope_dict(self) -> Dict[Node, Optional[MapEntry]]:
         """Map each node to its innermost enclosing scope entry (or None)."""

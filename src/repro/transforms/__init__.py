@@ -1,4 +1,29 @@
-"""Data-centric transformations (§6 of the paper)."""
+"""Data-centric transformations (§6 of the paper) on a pattern-based
+subgraph-rewrite engine.
+
+Every transformation is a :class:`Transformation`: it **matches** the
+sites of the SDFG where its pattern occurs (:meth:`Transformation.match`
+returns deterministic, ordered :class:`Match` values) and **applies** one
+site at a time (:meth:`Transformation.apply_match`, revalidating against
+the mutated graph).  The pipeline entry point ``apply(sdfg)`` drains the
+match set under the class's ``DRAIN`` policy and records how many sites
+matched and were rewritten — surfaced on every
+:class:`~repro.passbase.PassRecord` and in ``python -m repro compile
+--verbose``.
+
+Transformation parameters are constructor keyword arguments, declared for
+the auto-tuner via ``PARAMS`` (e.g. ``MapTiling(tile_size=16)``,
+``Vectorization(width=8)``, ``StackPromotion(max_elements=1024)``); they
+serialize through :class:`~repro.pipeline.spec.PassSpec` params into the
+spec's content address.  Two parameters exist on every transformation:
+``only_matches`` (apply only the given match indices — per-match enable
+subsets) and ``max_applications`` (cap the number of rewrites per run).
+
+The standard §6 suite (simplification + memory scheduling) is registered
+in :data:`DATA_PASSES`; the parameterized scheduling transforms
+(``MapTiling``, ``MapInterchange``, ``MapCollapse``, ``Vectorization``)
+are additive choices the tuner's search space proposes on top.
+"""
 
 from .array_elimination import ArrayElimination
 from .dead_code import (
@@ -7,6 +32,13 @@ from .dead_code import (
     RedundantIterationElimination,
 )
 from .loop_analysis import LoopInfo, find_loops, symbols_used_in_state
+from .map_parameterized import (
+    MapCollapse,
+    MapInterchange,
+    MapTiling,
+    Vectorization,
+    tile_map,
+)
 from .map_transforms import LoopToMap, MapFusion
 from .memlet_consolidation import MemletConsolidation
 from .memory_allocation import MemoryPreAllocation, StackPromotion
@@ -19,6 +51,7 @@ from .pipeline import (
     simplification_pipeline,
 )
 from .registry import DATA_PASSES, list_data_passes, register_data_pass
+from .rewrite import Match, Transformation, transformation_parameters
 from .simplify import simplify_sdfg
 from .state_fusion import StateFusion
 from .symbol_passes import ScalarToSymbolPromotion, SymbolPropagation
@@ -34,7 +67,11 @@ __all__ = [
     "DeadStateElimination",
     "LoopInfo",
     "LoopToMap",
+    "MapCollapse",
     "MapFusion",
+    "MapInterchange",
+    "MapTiling",
+    "Match",
     "MemletConsolidation",
     "MemoryPreAllocation",
     "PipelineReport",
@@ -43,12 +80,16 @@ __all__ = [
     "StackPromotion",
     "StateFusion",
     "SymbolPropagation",
+    "Transformation",
+    "Vectorization",
     "data_centric_pipeline",
     "find_loops",
     "list_data_passes",
-    "register_data_pass",
     "memory_scheduling_pipeline",
+    "register_data_pass",
     "simplification_pipeline",
     "simplify_sdfg",
     "symbols_used_in_state",
+    "tile_map",
+    "transformation_parameters",
 ]

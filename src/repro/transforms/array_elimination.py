@@ -1,39 +1,77 @@
 """Array elimination (§6.2): removing dead memory.
 
 "Dead memory" covers unused arrays, extraneous copies and unused views.
-This pass removes transient containers that are never accessed anywhere —
-typically the result of dead dataflow elimination removing all of their
-writes — and contracts trivial copy chains (a transient written only by a
-full copy from another container and read with the same shape), reducing
-memory usage via a linear-time traversal.  Eliminated containers are
-recorded on ``sdfg.eliminated_containers`` so the evaluation can report
-how many arrays and scalars were removed (§7.3 reports 63 across the three
-case studies).
+This pattern-based pass matches two site kinds, enumerated in that order:
+
+* ``unused`` — a transient container never accessed anywhere (typically
+  the result of dead dataflow elimination removing all of its writes);
+  applying removes the descriptor.
+* ``copy`` — a transient written only by a full copy from another
+  container of the same shape and read with the same shape; applying
+  redirects every read to the original container and removes the copy
+  (contracting the copy chain).
+
+Eliminated containers are recorded on ``sdfg.eliminated_containers`` so
+the evaluation can report how many arrays and scalars were removed (§7.3
+reports 63 across the three case studies).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Set
 
-from ..sdfg import SDFG, AccessNode, Memlet, Scalar
-from .pipeline import DataCentricPass
+from ..sdfg import SDFG, AccessNode
+from .rewrite import Match, Transformation
 
 
-class ArrayElimination(DataCentricPass):
+class ArrayElimination(Transformation):
     """Remove never-accessed transients and contract redundant copies."""
 
     NAME = "array-elimination"
+    DRAIN = "sweep"
 
-    def apply(self, sdfg: SDFG) -> bool:
-        changed = False
-        if self._remove_unused(sdfg):
-            changed = True
-        if self._contract_copies(sdfg):
-            changed = True
-        return changed
+    def match(self, sdfg: SDFG) -> List[Match]:
+        matches: List[Match] = []
+        accessed = self._accessed_containers(sdfg)
+        for name, descriptor in sdfg.arrays.items():
+            if not descriptor.transient or name in accessed:
+                continue
+            if name in sdfg.return_values:
+                continue
+            matches.append(Match(
+                transformation=self.name,
+                kind="unused",
+                where="<sdfg>",
+                subject=name,
+                # The enumeration-time accessed set rides along: removals
+                # never add accesses, so revalidation can reuse it instead
+                # of rescanning the whole graph per match.
+                payload={"name": name, "accessed": accessed},
+            ))
+        for state in sdfg.states():
+            for node in state.data_nodes():
+                found = self._contractible(sdfg, state, node)
+                if found is None:
+                    continue
+                matches.append(Match(
+                    transformation=self.name,
+                    kind="copy",
+                    where=state.label,
+                    subject=f"{node.data} <- {found.data} (full copy)",
+                    payload={"state": state, "node": node},
+                ))
+        return matches
+
+    def apply_match(self, sdfg: SDFG, match: Match) -> bool:
+        if match.kind == "unused":
+            return self._remove_unused(
+                sdfg, match.payload["name"], match.payload.get("accessed")
+            )
+        return self._contract_copy(sdfg, match.payload["state"], match.payload["node"])
 
     # -- unused containers --------------------------------------------------------
-    def _remove_unused(self, sdfg: SDFG) -> bool:
+    @staticmethod
+    def _accessed_containers(sdfg: SDFG) -> Set[str]:
         accessed: Set[str] = set()
         for state in sdfg.states():
             for node in state.data_nodes():
@@ -43,80 +81,84 @@ class ArrayElimination(DataCentricPass):
                     accessed.add(edge.data.data)
         for edge in sdfg.edges():
             accessed |= edge.data.free_symbols()
+        return accessed
 
-        changed = False
-        for name, descriptor in list(sdfg.arrays.items()):
-            if not descriptor.transient or name in accessed:
-                continue
-            if name in sdfg.return_values:
-                continue
-            sdfg.remove_data(name, validate=False)
-            changed = True
-        return changed
+    def _remove_unused(self, sdfg: SDFG, name: str, accessed: "Set[str] | None" = None) -> bool:
+        descriptor = sdfg.arrays.get(name)
+        if descriptor is None or not descriptor.transient:
+            return False
+        if accessed is None:  # hand-built match without the enumeration set
+            accessed = self._accessed_containers(sdfg)
+        if name in accessed or name in sdfg.return_values:
+            return False
+        sdfg.remove_data(name, validate=False)
+        return True
 
     # -- redundant copy contraction --------------------------------------------------
-    def _contract_copies(self, sdfg: SDFG) -> bool:
-        """Remove transients whose only role is to hold a full copy.
+    def _contractible(self, sdfg: SDFG, state, node: AccessNode):
+        """The copy-source access node when ``node`` is a contractible copy.
 
         Pattern (within a single state): ``src -> dst`` access-to-access edge
         covering the whole destination, where ``dst`` is a transient of the
         same shape, is never written anywhere else, and ``src`` is not
-        written later in the same state.  All reads of ``dst`` are redirected
-        to ``src``.
+        written later in the same state.
         """
-        changed = False
-        for state in sdfg.states():
-            for node in list(state.data_nodes()):
-                if node not in state:
+        if node not in state:
+            return None
+        descriptor = sdfg.arrays.get(node.data)
+        if descriptor is None or not descriptor.transient:
+            return None
+        if node.data in sdfg.return_values:
+            return None
+        in_edges = state.in_edges(node)
+        if len(in_edges) != 1:
+            return None
+        edge = in_edges[0]
+        if not isinstance(edge.src, AccessNode) or edge.src_conn or edge.dst_conn:
+            return None
+        source = edge.src
+        if sdfg.arrays.get(source.data) is None:
+            return None
+        if not self._same_shape(sdfg, source.data, node.data):
+            return None
+        if not self._written_only_here(sdfg, state, node):
+            return None
+        return source
+
+    def _contract_copy(self, sdfg: SDFG, state, node: AccessNode) -> bool:
+        source = self._contractible(sdfg, state, node)
+        if source is None:
+            return False
+        edge = state.in_edges(node)[0]
+        # Redirect all reads of the copy to the original container.
+        for out_edge in list(state.out_edges(node)):
+            memlet = out_edge.data
+            new_memlet = memlet.clone()
+            if not new_memlet.is_empty:
+                new_memlet.data = source.data
+            state.add_edge(source, None, out_edge.dst, out_edge.dst_conn, new_memlet)
+            state.remove_edge(out_edge)
+        # Redirect reads of the copy in *other* states as well.
+        for other_state in sdfg.states():
+            for other_node in list(other_state.data_nodes()):
+                if other_node.data != node.data or other_node is node:
                     continue
-                descriptor = sdfg.arrays.get(node.data)
-                if descriptor is None or not descriptor.transient:
+                if other_state.in_degree(other_node) > 0:
                     continue
-                if node.data in sdfg.return_values:
-                    continue
-                in_edges = state.in_edges(node)
-                if len(in_edges) != 1:
-                    continue
-                edge = in_edges[0]
-                if not isinstance(edge.src, AccessNode) or edge.src_conn or edge.dst_conn:
-                    continue
-                source = edge.src
-                if sdfg.arrays.get(source.data) is None:
-                    continue
-                if not self._same_shape(sdfg, source.data, node.data):
-                    continue
-                if not self._written_only_here(sdfg, state, node):
-                    continue
-                # Redirect all reads of the copy to the original container.
-                for out_edge in list(state.out_edges(node)):
-                    memlet = out_edge.data
-                    new_memlet = memlet.clone()
-                    if not new_memlet.is_empty:
-                        new_memlet.data = source.data
-                    state.add_edge(source, None, out_edge.dst, out_edge.dst_conn, new_memlet)
-                    state.remove_edge(out_edge)
-                # Redirect reads of the copy in *other* states as well.
-                for other_state in sdfg.states():
-                    for other_node in list(other_state.data_nodes()):
-                        if other_node.data != node.data or other_node is node:
-                            continue
-                        if other_state.in_degree(other_node) > 0:
-                            continue
-                        replacement = other_state.add_access(source.data)
-                        for out_edge in list(other_state.out_edges(other_node)):
-                            memlet = out_edge.data.clone()
-                            if not memlet.is_empty:
-                                memlet.data = source.data
-                            other_state.add_edge(
-                                replacement, None, out_edge.dst, out_edge.dst_conn, memlet
-                            )
-                            other_state.remove_edge(out_edge)
-                        other_state.remove_node(other_node)
-                state.remove_edge(edge)
-                state.remove_node(node)
-                sdfg.remove_data(node.data, validate=False)
-                changed = True
-        return changed
+                replacement = other_state.add_access(source.data)
+                for out_edge in list(other_state.out_edges(other_node)):
+                    memlet = out_edge.data.clone()
+                    if not memlet.is_empty:
+                        memlet.data = source.data
+                    other_state.add_edge(
+                        replacement, None, out_edge.dst, out_edge.dst_conn, memlet
+                    )
+                    other_state.remove_edge(out_edge)
+                other_state.remove_node(other_node)
+        state.remove_edge(edge)
+        state.remove_node(node)
+        sdfg.remove_data(node.data, validate=False)
+        return True
 
     @staticmethod
     def _same_shape(sdfg: SDFG, first: str, second: str) -> bool:

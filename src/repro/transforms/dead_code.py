@@ -1,18 +1,17 @@
 """Extended dead code elimination on the SDFG (§6.2).
 
-Three passes bridge control- and data-centric DCE:
+Three pattern-based transformations bridge control- and data-centric DCE:
 
-* :class:`DeadStateElimination` — uses propagated symbols to determine
-  whether a transition condition is always false and removes unreachable
-  state-machine states.
+* :class:`DeadStateElimination` — matches provably-false transitions and
+  the states that become unreachable once they are gone, and removes both.
 * :class:`DeadDataflowElimination` — tracks future-reused data containers
   and removes all computations that end up in unused temporary containers.
-  The implementation is a container-level "faint variable" analysis: a
-  transient container is live only if it (transitively) feeds an
-  externally observable container (program outputs, non-transients, or
-  values read by state-transition conditions); writes to non-live
-  containers, and the computations feeding only them, are removed.
-* :class:`RedundantIterationElimination` — collapses loops whose body
+  The analysis is a container-level "faint variable" analysis: a transient
+  container is live only if it (transitively) feeds an externally
+  observable container (program outputs, non-transients, or values read by
+  state-transition conditions); each match is one dead write site, and
+  applying it cascades away the computations that fed only it.
+* :class:`RedundantIterationElimination` — matches loops whose body
   neither depends on the induction symbol nor carries data across
   iterations; every iteration then writes the same values, so one
   iteration suffices.  This is what fully collapses the paper's Fig. 2
@@ -21,55 +20,112 @@ Three passes bridge control- and data-centric DCE:
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, List, Set
 
 import networkx as nx
 
-from ..symbolic import BoolConst, FALSE, Integer
+from ..symbolic import BoolConst
 from ..sdfg import SDFG, AccessNode, SDFGState, Tasklet
-from ..sdfg.nodes import MapEntry, MapExit, is_scope_entry, is_scope_exit
+from ..sdfg.nodes import is_scope_entry, is_scope_exit
 from .loop_analysis import find_loops, symbols_used_in_state
-from .pipeline import DataCentricPass
+from .rewrite import Match, Transformation
 
 
-class DeadStateElimination(DataCentricPass):
+class DeadStateElimination(Transformation):
     """Remove provably-false transitions and unreachable states."""
 
     NAME = "dead-state-elimination"
+    DRAIN = "sweep"
 
-    def apply(self, sdfg: SDFG) -> bool:
-        changed = False
-        # Remove edges whose condition is provably false.
-        for edge in list(sdfg.edges()):
+    def match(self, sdfg: SDFG) -> List[Match]:
+        matches: List[Match] = []
+        false_edges = []
+        for edge in sdfg.edges():
             condition = edge.data.condition
             if isinstance(condition, BoolConst) and not condition.value:
-                sdfg.remove_edge(edge)
-                changed = True
-        # Remove states unreachable from the start state.
-        if sdfg.start_state is None:
-            return changed
-        reachable = set(nx.descendants(sdfg._graph, sdfg.start_state)) | {sdfg.start_state}
-        for state in list(sdfg.states()):
-            if state not in reachable:
-                for edge in list(sdfg.in_edges(state)) + list(sdfg.out_edges(state)):
-                    sdfg.remove_edge(edge)
-                sdfg.remove_state(state)
-                changed = True
-        return changed
+                false_edges.append(edge)
+                matches.append(Match(
+                    transformation=self.name,
+                    kind="false-edge",
+                    where=edge.src.label,
+                    subject=f"{edge.src.label} -> {edge.dst.label} (condition {condition})",
+                    payload={"edge": edge},
+                ))
+        # States unreachable once the false edges are gone (pure analysis:
+        # the reachability the graph will have after the edge matches apply).
+        if sdfg.start_state is not None:
+            removed = set(false_edges)
+            reachable = {sdfg.start_state}
+            frontier = [sdfg.start_state]
+            while frontier:
+                state = frontier.pop()
+                for edge in sdfg.out_edges(state):
+                    if edge in removed or edge.dst in reachable:
+                        continue
+                    reachable.add(edge.dst)
+                    frontier.append(edge.dst)
+            for state in sdfg.states():
+                if state not in reachable:
+                    matches.append(Match(
+                        transformation=self.name,
+                        kind="unreachable-state",
+                        where=state.label,
+                        subject=state.label,
+                        payload={"state": state},
+                    ))
+        return matches
+
+    def apply_match(self, sdfg: SDFG, match: Match) -> bool:
+        if match.kind == "false-edge":
+            edge = match.payload["edge"]
+            if edge.src not in sdfg.states() or edge not in sdfg.out_edges(edge.src):
+                return False
+            sdfg.remove_edge(edge)
+            return True
+        state = match.payload["state"]
+        if state not in sdfg.states():
+            return False
+        for edge in list(sdfg.in_edges(state)) + list(sdfg.out_edges(state)):
+            sdfg.remove_edge(edge)
+        sdfg.remove_state(state)
+        return True
 
 
-class DeadDataflowElimination(DataCentricPass):
+class DeadDataflowElimination(Transformation):
     """Remove computations whose results can never be observed."""
 
     NAME = "dead-dataflow-elimination"
+    DRAIN = "sweep"
 
-    def apply(self, sdfg: SDFG) -> bool:
+    def match(self, sdfg: SDFG) -> List[Match]:
         live = self._live_containers(sdfg)
-        changed = False
+        matches: List[Match] = []
         for state in sdfg.states():
-            if self._remove_dead_writes(sdfg, state, live):
-                changed = True
-        return changed
+            for node in state.nodes():
+                if not isinstance(node, AccessNode) or node.data in live:
+                    continue
+                descriptor = sdfg.arrays.get(node.data)
+                if descriptor is None or not descriptor.transient:
+                    continue
+                matches.append(Match(
+                    transformation=self.name,
+                    kind="dead-write",
+                    where=state.label,
+                    subject=node.data,
+                    payload={"state": state, "node": node},
+                ))
+        return matches
+
+    def apply_match(self, sdfg: SDFG, match: Match) -> bool:
+        state: SDFGState = match.payload["state"]
+        node: AccessNode = match.payload["node"]
+        if node not in state:
+            return False  # an earlier cascade already removed this site
+        for edge in list(state.in_edges(node)) + list(state.out_edges(node)):
+            state.remove_edge(edge)
+        state.remove_node(node)
+        self._cascade(state)
+        return True
 
     # -- analysis -----------------------------------------------------------------
     def _live_containers(self, sdfg: SDFG) -> Set[str]:
@@ -111,29 +167,6 @@ class DeadDataflowElimination(DataCentricPass):
                     changed = True
         return live
 
-    # -- rewrite -------------------------------------------------------------------
-    def _remove_dead_writes(self, sdfg: SDFG, state: SDFGState, live: Set[str]) -> bool:
-        changed = False
-        # Remove write edges into dead containers, then cascade-remove nodes
-        # that no longer contribute to anything.
-        for node in list(state.nodes()):
-            if not isinstance(node, AccessNode) or node not in state:
-                continue
-            if node.data in live:
-                continue
-            descriptor = sdfg.arrays.get(node.data)
-            if descriptor is None or not descriptor.transient:
-                continue
-            # All edges into/out of a dead container's access node disappear.
-            for edge in list(state.in_edges(node)) + list(state.out_edges(node)):
-                state.remove_edge(edge)
-                changed = True
-            state.remove_node(node)
-            changed = True
-        if changed:
-            self._cascade(state)
-        return changed
-
     def _cascade(self, state: SDFGState) -> None:
         """Remove code nodes whose outputs are no longer consumed."""
         changed = True
@@ -157,7 +190,7 @@ class DeadDataflowElimination(DataCentricPass):
                     continue
 
 
-class RedundantIterationElimination(DataCentricPass):
+class RedundantIterationElimination(Transformation):
     """Collapse loops whose iterations are all identical.
 
     Conditions: the loop is a recognized counted loop; no state in the body
@@ -168,21 +201,37 @@ class RedundantIterationElimination(DataCentricPass):
     """
 
     NAME = "redundant-iteration-elimination"
+    DRAIN = "sweep"
 
-    def apply(self, sdfg: SDFG) -> bool:
-        changed = False
+    def match(self, sdfg: SDFG) -> List[Match]:
+        matches: List[Match] = []
         for loop in find_loops(sdfg):
-            if loop.induction_symbol is None or loop.bound_expr is None:
+            if not self._eligible(sdfg, loop):
                 continue
-            induction = loop.induction_symbol
-            if self._already_collapsed(loop, induction):
-                continue
-            if not self._is_redundant(sdfg, loop, induction):
-                continue
-            for latch in loop.latch_edges:
-                latch.data.assignments[induction] = loop.bound_expr
-            changed = True
-        return changed
+            matches.append(Match(
+                transformation=self.name,
+                kind="redundant-loop",
+                where=loop.guard.label,
+                subject=f"loop over {loop.induction_symbol} (bound {loop.bound_expr})",
+                payload={"loop": loop},
+            ))
+        return matches
+
+    def apply_match(self, sdfg: SDFG, match: Match) -> bool:
+        loop = match.payload["loop"]
+        if not self._eligible(sdfg, loop):
+            return False
+        for latch in loop.latch_edges:
+            latch.data.assignments[loop.induction_symbol] = loop.bound_expr
+        return True
+
+    def _eligible(self, sdfg: SDFG, loop) -> bool:
+        if loop.induction_symbol is None or loop.bound_expr is None:
+            return False
+        induction = loop.induction_symbol
+        if self._already_collapsed(loop, induction):
+            return False
+        return self._is_redundant(sdfg, loop, induction)
 
     def _already_collapsed(self, loop, induction: str) -> bool:
         return all(

@@ -10,32 +10,54 @@ deliberately conservative form: two map scopes in the same state with the
 same iteration space, connected exclusively through an elementwise
 transient, are merged; the intermediate drops from an array to a scalar,
 promoting cache locality and reducing the memory footprint.
+
+Both are pattern-based :class:`~repro.transforms.Transformation` subclasses:
+``LoopToMap`` matches independent counted loops (one sweep, every match
+applied with revalidation), ``MapFusion`` matches fusable map pairs and
+re-enumerates after every fusion (fusing two maps can expose a chain
+fusion with a third).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import List, Optional, Set
 
 from ..symbolic import Range, Symbol
 from ..sdfg import SDFG, AccessNode, Memlet, SDFGState, Tasklet
 from ..sdfg.nodes import MapEntry, MapExit
 from .loop_analysis import LoopInfo, find_loops
-from .pipeline import DataCentricPass
+from .rewrite import Match, Transformation
 
 
-class LoopToMap(DataCentricPass):
+class LoopToMap(Transformation):
     """Convert independent counted state-machine loops into map scopes."""
 
     NAME = "loop-to-map"
+    DRAIN = "sweep"
 
-    def apply(self, sdfg: SDFG) -> bool:
-        changed = False
+    def match(self, sdfg: SDFG) -> List[Match]:
+        matches: List[Match] = []
         for loop in find_loops(sdfg):
-            if self._convert(sdfg, loop):
-                changed = True
-        return changed
+            if not self._eligible(loop):
+                continue
+            matches.append(Match(
+                transformation=self.name,
+                kind="loop",
+                where=loop.guard.label,
+                subject=(
+                    f"for {loop.induction_symbol} in "
+                    f"[{loop.init_expr}, {loop.bound_expr}) step {loop.step_expr}"
+                ),
+                payload={"loop": loop},
+            ))
+        return matches
 
-    def _convert(self, sdfg: SDFG, loop: LoopInfo) -> bool:
+    def apply_match(self, sdfg: SDFG, match: Match) -> bool:
+        return self._convert(sdfg, match.payload["loop"])
+
+    @staticmethod
+    def _eligible(loop: LoopInfo) -> bool:
+        """Pure precondition check (no mutation)."""
         if loop.induction_symbol is None or loop.bound_expr is None:
             return False
         if len(loop.body_states) != 1 or len(loop.latch_edges) != 1:
@@ -56,11 +78,17 @@ class LoopToMap(DataCentricPass):
         # Iterations must be independent: nothing read is also written,
         # except through update (WCR) edges which commute.
         reads = body.read_set()
-        writes = self._non_wcr_writes(body)
+        writes = LoopToMap._non_wcr_writes(body)
         if reads & writes:
             return False
         if loop.step_expr is None or not loop.step_expr.is_constant():
             return False
+        return True
+
+    def _convert(self, sdfg: SDFG, loop: LoopInfo) -> bool:
+        if not self._eligible(loop):
+            return False
+        body = next(iter(loop.body_states))
 
         induction = loop.induction_symbol
         map_range = Range(loop.init_expr, loop.bound_expr, loop.step_expr)
@@ -119,10 +147,6 @@ class LoopToMap(DataCentricPass):
                     state.add_edge(entry, connector, edge.dst, edge.dst_conn, edge.data)
                     state.remove_edge(edge)
                 descriptor_shape = state.sdfg.arrays[source.data].shape if state.sdfg else ()
-                outer = Memlet(
-                    data=source.data,
-                    subset=None if not descriptor_shape else None,
-                )
                 from ..symbolic import Subset
 
                 outer = Memlet(
@@ -163,7 +187,7 @@ class LoopToMap(DataCentricPass):
             propagate_memlets_state(state.sdfg, state)
 
 
-class MapFusion(DataCentricPass):
+class MapFusion(Transformation):
     """Memory-reducing loop fusion (§6.3), conservative form.
 
     Fuses two map scopes in the same state when they share the same single
@@ -175,38 +199,63 @@ class MapFusion(DataCentricPass):
     """
 
     NAME = "map-fusion"
+    DRAIN = "restart"
 
-    def apply(self, sdfg: SDFG) -> bool:
-        changed = False
+    def match(self, sdfg: SDFG) -> List[Match]:
+        matches: List[Match] = []
         for state in sdfg.states():
-            while self._fuse_once(sdfg, state):
-                changed = True
-        return changed
+            for intermediate in state.data_nodes():
+                found = self._fusable(sdfg, state, intermediate)
+                if found is None:
+                    continue
+                producer_exit, consumer_entry = found
+                matches.append(Match(
+                    transformation=self.name,
+                    kind="map-pair",
+                    where=state.label,
+                    subject=(
+                        f"{producer_exit.map.label} + {consumer_entry.map.label} "
+                        f"via {intermediate.data}"
+                    ),
+                    payload={"state": state, "intermediate": intermediate},
+                ))
+        return matches
 
-    def _fuse_once(self, sdfg: SDFG, state: SDFGState) -> bool:
-        for intermediate in state.data_nodes():
-            if intermediate not in state:
-                continue
-            descriptor = sdfg.arrays.get(intermediate.data)
-            if descriptor is None or not descriptor.transient:
-                continue
-            in_edges = state.in_edges(intermediate)
-            out_edges = state.out_edges(intermediate)
-            if len(in_edges) != 1 or len(out_edges) != 1:
-                continue
-            producer_exit = in_edges[0].src
-            consumer_entry = out_edges[0].dst
-            if not isinstance(producer_exit, MapExit) or not isinstance(consumer_entry, MapEntry):
-                continue
-            first_map = producer_exit.map
-            second_map = consumer_entry.map
-            if len(first_map.params) != 1 or len(second_map.params) != 1:
-                continue
-            if first_map.ranges[0] != second_map.ranges[0]:
-                continue
-            self._fuse_scopes(sdfg, state, producer_exit, consumer_entry, intermediate)
-            return True
-        return False
+    def apply_match(self, sdfg: SDFG, match: Match) -> bool:
+        state: SDFGState = match.payload["state"]
+        intermediate: AccessNode = match.payload["intermediate"]
+        if state not in sdfg.states() or intermediate not in state:
+            return False
+        found = self._fusable(sdfg, state, intermediate)
+        if found is None:
+            return False
+        producer_exit, consumer_entry = found
+        self._fuse_scopes(sdfg, state, producer_exit, consumer_entry, intermediate)
+        return True
+
+    @staticmethod
+    def _fusable(sdfg: SDFG, state: SDFGState, intermediate: AccessNode):
+        """The fusable (producer exit, consumer entry) around a transient."""
+        if intermediate not in state:
+            return None
+        descriptor = sdfg.arrays.get(intermediate.data)
+        if descriptor is None or not descriptor.transient:
+            return None
+        in_edges = state.in_edges(intermediate)
+        out_edges = state.out_edges(intermediate)
+        if len(in_edges) != 1 or len(out_edges) != 1:
+            return None
+        producer_exit = in_edges[0].src
+        consumer_entry = out_edges[0].dst
+        if not isinstance(producer_exit, MapExit) or not isinstance(consumer_entry, MapEntry):
+            return None
+        first_map = producer_exit.map
+        second_map = consumer_entry.map
+        if len(first_map.params) != 1 or len(second_map.params) != 1:
+            return None
+        if first_map.ranges[0] != second_map.ranges[0]:
+            return None
+        return producer_exit, consumer_entry
 
     def _fuse_scopes(self, sdfg: SDFG, state: SDFGState, producer_exit: MapExit,
                      consumer_entry: MapEntry, intermediate: AccessNode) -> None:

@@ -3,9 +3,18 @@
 After converting MLIR dialects and propagating data dependencies, a scope
 may end up with multiple memlets referring to overlapping regions of the
 same container (a stencil reading ``A[i]`` and ``A[i+1]`` generates two
-edges).  This pass unions edges between the same pair of nodes that refer
-to the same container — a "data movement common denominator" — and merges
-duplicate read access nodes of the same container within a state.
+edges).  This pattern-based pass matches two site kinds per state:
+
+* ``merge-reads`` — several pure-source access nodes of the same container
+  in one state; applying merges them into the first one.
+* ``consolidate`` — parallel edges between the same (node, connector)
+  pair referring to the same container — a "data movement common
+  denominator"; applying unions them into one memlet.
+
+Consolidation sites are enumerated on the *post-merge* view of each state
+(duplicate sources are resolved to their merge representative), so one
+sweep reproduces the merge-then-union behaviour of the historical
+whole-graph pass.
 """
 
 from __future__ import annotations
@@ -13,33 +22,88 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..sdfg import SDFG, AccessNode, Memlet
-from .pipeline import DataCentricPass
+from .rewrite import Match, Transformation
 
 
-class MemletConsolidation(DataCentricPass):
+class MemletConsolidation(Transformation):
     """Union overlapping memlets and merge duplicate read nodes."""
 
     NAME = "memlet-consolidation"
+    DRAIN = "sweep"
 
-    def apply(self, sdfg: SDFG) -> bool:
-        changed = False
+    def match(self, sdfg: SDFG) -> List[Match]:
+        matches: List[Match] = []
         for state in sdfg.states():
-            if self._merge_duplicate_reads(state):
-                changed = True
-            if self._union_parallel_edges(state):
-                changed = True
-        return changed
+            canonical = self._canonical_sources(state)
+            duplicates: Dict[str, int] = {}
+            for node in state.data_nodes():
+                representative = canonical.get(node)
+                if representative is not None and representative is not node:
+                    duplicates[node.data] = duplicates.get(node.data, 1) + 1
+            for container, count in duplicates.items():
+                matches.append(Match(
+                    transformation=self.name,
+                    kind="merge-reads",
+                    where=state.label,
+                    subject=f"{container} ({count} source nodes)",
+                    payload={"state": state, "container": container},
+                ))
+            # Parallel-edge groups, keyed on the post-merge source nodes.
+            groups = self._edge_groups(state, canonical)
+            for key, edges in groups.items():
+                if len(edges) < 2:
+                    continue
+                src, src_conn, dst, dst_conn, data = key
+                matches.append(Match(
+                    transformation=self.name,
+                    kind="consolidate",
+                    where=state.label,
+                    subject=f"{data}: {len(edges)} parallel edges",
+                    payload={"state": state, "key": key},
+                ))
+        return matches
 
-    def _merge_duplicate_reads(self, state) -> bool:
-        """Merge access nodes of the same container that are pure sources."""
-        changed = False
-        sources: Dict[str, AccessNode] = {}
-        for node in list(state.data_nodes()):
-            if node not in state or state.in_degree(node) != 0:
+    def apply_match(self, sdfg: SDFG, match: Match) -> bool:
+        state = match.payload["state"]
+        if match.kind == "merge-reads":
+            return self._merge_reads(state, match.payload["container"])
+        return self._consolidate(state, match.payload["key"])
+
+    # -- analysis -----------------------------------------------------------------
+    @staticmethod
+    def _canonical_sources(state) -> Dict[AccessNode, AccessNode]:
+        """Map each pure-source access node to its merge representative."""
+        canonical: Dict[AccessNode, AccessNode] = {}
+        first: Dict[str, AccessNode] = {}
+        for node in state.data_nodes():
+            if state.in_degree(node) != 0:
                 continue
-            existing = sources.get(node.data)
+            representative = first.setdefault(node.data, node)
+            canonical[node] = representative
+        return canonical
+
+    @staticmethod
+    def _edge_groups(state, canonical: Dict[AccessNode, AccessNode]) -> Dict[Tuple, List]:
+        """Parallel-edge groups as they will exist after duplicate merging."""
+        groups: Dict[Tuple, List] = {}
+        for edge in state.edges():
+            if edge.data.is_empty or edge.data.wcr is not None:
+                continue
+            src = canonical.get(edge.src, edge.src)
+            key = (src, edge.src_conn, edge.dst, edge.dst_conn, edge.data.data)
+            groups.setdefault(key, []).append(edge)
+        return groups
+
+    # -- rewrites -----------------------------------------------------------------
+    def _merge_reads(self, state, container: str) -> bool:
+        """Merge all pure-source access nodes of ``container`` into the first."""
+        changed = False
+        existing = None
+        for node in list(state.data_nodes()):
+            if node not in state or node.data != container or state.in_degree(node) != 0:
+                continue
             if existing is None:
-                sources[node.data] = node
+                existing = node
                 continue
             for edge in list(state.out_edges(node)):
                 state.add_edge(existing, edge.src_conn, edge.dst, edge.dst_conn, edge.data)
@@ -48,23 +112,23 @@ class MemletConsolidation(DataCentricPass):
             changed = True
         return changed
 
-    def _union_parallel_edges(self, state) -> bool:
-        """Union parallel edges between the same nodes/connectors/container."""
-        changed = False
-        groups: Dict[Tuple, List] = {}
-        for edge in state.edges():
-            if edge.data.is_empty or edge.data.wcr is not None:
-                continue
-            key = (edge.src, edge.src_conn, edge.dst, edge.dst_conn, edge.data.data)
-            groups.setdefault(key, []).append(edge)
-        for key, edges in groups.items():
-            if len(edges) < 2:
-                continue
-            merged: Memlet = edges[0].data
-            for other in edges[1:]:
-                merged = merged.union(other.data)
-            edges[0].data = merged
-            for other in edges[1:]:
-                state.remove_edge(other)
-            changed = True
-        return changed
+    def _consolidate(self, state, key: Tuple) -> bool:
+        """Union the parallel edges between the key's endpoints (live lookup)."""
+        src, src_conn, dst, dst_conn, data = key
+        if src not in state or dst not in state:
+            return False
+        edges = [
+            edge for edge in state.edges_between(src, dst)
+            if edge.src_conn == src_conn and edge.dst_conn == dst_conn
+            and not edge.data.is_empty and edge.data.wcr is None
+            and edge.data.data == data
+        ]
+        if len(edges) < 2:
+            return False
+        merged: Memlet = edges[0].data
+        for other in edges[1:]:
+            merged = merged.union(other.data)
+        edges[0].data = merged
+        for other in edges[1:]:
+            state.remove_edge(other)
+        return True

@@ -1,76 +1,125 @@
 """Memory scheduling optimizations (§6.3): (pre-)allocation heuristics.
 
-Two heuristics deal with allocation placement in arbitrary MLIR codes:
+Two pattern-based heuristics deal with allocation placement in arbitrary
+MLIR codes:
 
 * :class:`StackPromotion` — decide whether a container can live on the
   stack (or in registers) rather than the heap, based on a static size
   threshold.  On the paper's ``gesummv`` this is the optimization that
-  moves one of the five arrays to the stack.
+  moves one of the five arrays to the stack.  The threshold is the
+  transformation's tunable parameter (``max_elements``).
 * :class:`MemoryPreAllocation` — move allocation to the outermost scope it
   can (no data races in the sequential model), removing allocation calls
   from the critical path; containers become ``persistent`` and are
   allocated once, up front, by the code generator.  This is what removes
   the per-iteration allocations Torch-MLIR leaves in the Mish benchmark.
+
+Each match is one promotable container; both transforms sweep their match
+list once per run (container promotions are independent sites).
 """
 
 from __future__ import annotations
 
-from ..symbolic import Integer
+from typing import List
+
 from ..sdfg import SDFG, STORAGE_STACK
 from ..sdfg.data import Array, LIFETIME_PERSISTENT
-from .pipeline import DataCentricPass
+from .rewrite import Match, Transformation
 
 #: Containers of at most this many elements are promoted to the stack.
 DEFAULT_STACK_THRESHOLD = 64 * 1024
 
 
-class StackPromotion(DataCentricPass):
+class StackPromotion(Transformation):
     """Promote small, statically-sized transients to stack storage."""
 
     NAME = "stack-promotion"
+    DRAIN = "sweep"
+    PARAMS = {"max_elements": (1024, 16 * 1024, DEFAULT_STACK_THRESHOLD, 256 * 1024)}
 
-    def __init__(self, max_elements: int = DEFAULT_STACK_THRESHOLD):
+    def __init__(self, max_elements: int = DEFAULT_STACK_THRESHOLD, **kwargs):
+        super().__init__(**kwargs)
         self.max_elements = max_elements
 
-    def apply(self, sdfg: SDFG) -> bool:
-        changed = False
+    def match(self, sdfg: SDFG) -> List[Match]:
+        matches: List[Match] = []
         for name, descriptor in sdfg.arrays.items():
-            if not isinstance(descriptor, Array) or not descriptor.transient:
+            if not self._eligible(descriptor):
                 continue
-            if descriptor.storage == STORAGE_STACK:
-                continue
-            size = descriptor.total_size()
-            if not size.is_constant():
-                continue
-            if size.as_int() <= self.max_elements:
-                descriptor.storage = STORAGE_STACK
-                descriptor.lifetime = LIFETIME_PERSISTENT
-                changed = True
-        return changed
+            matches.append(Match(
+                transformation=self.name,
+                kind="container",
+                where="<sdfg>",
+                subject=f"{name} ({descriptor.total_size()} elements)",
+                payload={"name": name},
+            ))
+        return matches
+
+    def apply_match(self, sdfg: SDFG, match: Match) -> bool:
+        name = match.payload["name"]
+        descriptor = sdfg.arrays.get(name)
+        if descriptor is None or not self._eligible(descriptor):
+            return False
+        descriptor.storage = STORAGE_STACK
+        descriptor.lifetime = LIFETIME_PERSISTENT
+        return True
+
+    def _eligible(self, descriptor) -> bool:
+        if not isinstance(descriptor, Array) or not descriptor.transient:
+            return False
+        if descriptor.storage == STORAGE_STACK:
+            return False
+        size = descriptor.total_size()
+        if not size.is_constant():
+            return False
+        return size.as_int() <= self.max_elements
 
 
-class MemoryPreAllocation(DataCentricPass):
+class MemoryPreAllocation(Transformation):
     """Hoist transient allocations to the outermost scope (pre-allocation)."""
 
     NAME = "memory-preallocation"
+    DRAIN = "sweep"
 
-    def apply(self, sdfg: SDFG) -> bool:
-        changed = False
+    def match(self, sdfg: SDFG) -> List[Match]:
+        matches: List[Match] = []
+        assigned = self._assigned_symbols(sdfg)
         for name, descriptor in sdfg.arrays.items():
-            if not isinstance(descriptor, Array) or not descriptor.transient:
+            if not self._eligible(descriptor, assigned):
                 continue
-            if descriptor.lifetime == LIFETIME_PERSISTENT:
-                continue
-            # In the sequential execution model reusing one allocation across
-            # loop iterations is always race-free, so hoisting is always legal
-            # as long as the size does not depend on symbols assigned inside
-            # the program (loop indices).
-            assigned_symbols = set()
-            for edge in sdfg.edges():
-                assigned_symbols |= set(edge.data.assignments)
-            shape_symbols = {symbol.name for symbol in descriptor.free_symbols()}
-            if shape_symbols & assigned_symbols:
-                continue
-            descriptor.lifetime = LIFETIME_PERSISTENT
-            changed = True
-        return changed
+            matches.append(Match(
+                transformation=self.name,
+                kind="container",
+                where="<sdfg>",
+                subject=name,
+                payload={"name": name},
+            ))
+        return matches
+
+    def apply_match(self, sdfg: SDFG, match: Match) -> bool:
+        name = match.payload["name"]
+        descriptor = sdfg.arrays.get(name)
+        if descriptor is None or not self._eligible(descriptor, self._assigned_symbols(sdfg)):
+            return False
+        descriptor.lifetime = LIFETIME_PERSISTENT
+        return True
+
+    @staticmethod
+    def _assigned_symbols(sdfg: SDFG) -> set:
+        assigned = set()
+        for edge in sdfg.edges():
+            assigned |= set(edge.data.assignments)
+        return assigned
+
+    @staticmethod
+    def _eligible(descriptor, assigned_symbols: set) -> bool:
+        if not isinstance(descriptor, Array) or not descriptor.transient:
+            return False
+        if descriptor.lifetime == LIFETIME_PERSISTENT:
+            return False
+        # In the sequential execution model reusing one allocation across
+        # loop iterations is always race-free, so hoisting is always legal
+        # as long as the size does not depend on symbols assigned inside
+        # the program (loop indices).
+        shape_symbols = {symbol.name for symbol in descriptor.free_symbols()}
+        return not (shape_symbols & assigned_symbols)

@@ -5,6 +5,19 @@ A thin layer over the unified infrastructure in :mod:`repro.passbase`:
 :class:`DataCentricPipeline` the ``validate`` convenience, while the report
 types are the shared ones (``PipelineReport``/``PassRecord`` are aliases of
 :class:`~repro.passbase.StageReport`/:class:`~repro.passbase.PassRecord`).
+
+``DataCentricPass`` is the *whole-graph* contract: ``apply(sdfg) -> bool``
+transforms in place and reports whether anything changed.  Almost every
+shipped pass is now the richer pattern-based
+:class:`~repro.transforms.rewrite.Transformation` subclass of it, which
+splits that into ``match(sdfg) -> list[Match]`` (deterministic site
+enumeration) and ``apply_match(sdfg, match)`` (one-site rewrite with
+revalidation), with ``apply`` as the match-draining driver; write a plain
+``DataCentricPass`` only when a rewrite genuinely has no site structure.
+The :class:`~repro.passbase.PassRunner` treats both identically, but
+pattern-based passes additionally report per-run match/application counts
+on their :class:`~repro.passbase.PassRecord`.
+
 Three standard pipelines are provided, matching the paper:
 
 * :func:`simplification_pipeline` — the idempotent ``-O1``-equivalent

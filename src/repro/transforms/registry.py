@@ -3,7 +3,10 @@
 Declarative pipeline specs (:class:`repro.pipeline.PipelineSpec`) reference
 data-centric passes by these names.  Registering a new pass makes it
 immediately usable in specs — ablation pipelines (e.g. ``dcir`` without
-``MapFusion``) are just specs with a shorter pass list.
+``MapFusion``) are just specs with a shorter pass list — and pattern-based
+:class:`~repro.transforms.Transformation` subclasses additionally expose
+their match enumeration (``python -m repro transforms match``) and tuner
+parameter axes (``PARAMS``) through the same name.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from .dead_code import (
     DeadStateElimination,
     RedundantIterationElimination,
 )
+from .map_parameterized import MapCollapse, MapInterchange, MapTiling, Vectorization
 from .map_transforms import LoopToMap, MapFusion
 from .memlet_consolidation import MemletConsolidation
 from .memory_allocation import MemoryPreAllocation, StackPromotion
@@ -39,6 +43,11 @@ for _cls in (
     MemoryPreAllocation,
     LoopToMap,
     MapFusion,
+    # Parameterized scheduling transforms (tuner-searchable additions).
+    MapTiling,
+    MapInterchange,
+    MapCollapse,
+    Vectorization,
 ):
     DATA_PASSES.register(_cls)
 

@@ -6,50 +6,76 @@ the two states are preserved by merging access nodes (read-after-write) and
 adding explicit ordering edges (write-after-read / write-after-write), so
 the fused state remains a correct acyclic dataflow graph without
 introducing data races.
+
+Pattern-based: a match is one fusable ``(first, second)`` state pair; each
+application creates new fusion opportunities (the fused state may now have
+a unique unconditional successor), so the driver re-enumerates after every
+application (``DRAIN = "restart"``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..sdfg import SDFG, AccessNode, Memlet, SDFGState
-from .pipeline import DataCentricPass
+from .rewrite import Match, Transformation
 
 
-class StateFusion(DataCentricPass):
+class StateFusion(Transformation):
     """Repeatedly fuse linear, unconditional state pairs."""
 
     NAME = "state-fusion"
+    DRAIN = "restart"
 
-    def apply(self, sdfg: SDFG) -> bool:
-        changed = False
-        while self._fuse_once(sdfg):
-            changed = True
-        return changed
-
-    def _fuse_once(self, sdfg: SDFG) -> bool:
+    def match(self, sdfg: SDFG) -> List[Match]:
+        matches: List[Match] = []
         for first in sdfg.states():
-            out_edges = sdfg.out_edges(first)
-            if len(out_edges) != 1:
+            edge = self._fusable_edge(sdfg, first)
+            if edge is None:
                 continue
-            edge = out_edges[0]
-            second = edge.dst
-            if second is first:
-                continue
-            if len(sdfg.in_edges(second)) != 1:
-                continue
-            if not edge.data.is_unconditional or edge.data.assignments:
-                continue
-            if second is sdfg.start_state:
-                continue
-            self._fuse(sdfg, first, second, edge)
-            return True
-        return False
+            matches.append(Match(
+                transformation=self.name,
+                kind="state-pair",
+                where=first.label,
+                subject=f"{first.label} <- {edge.dst.label}",
+                payload={"first": first, "second": edge.dst, "edge": edge},
+            ))
+        return matches
+
+    def apply_match(self, sdfg: SDFG, match: Match) -> bool:
+        first: SDFGState = match.payload["first"]
+        second: SDFGState = match.payload["second"]
+        # Revalidate against the current graph: an earlier fusion may have
+        # consumed either state or rewired the transition.
+        if first not in sdfg.states() or second not in sdfg.states():
+            return False
+        edge = self._fusable_edge(sdfg, first)
+        if edge is None or edge.dst is not second:
+            return False
+        self._fuse(sdfg, first, second, edge)
+        return True
+
+    @staticmethod
+    def _fusable_edge(sdfg: SDFG, first: SDFGState):
+        """The single fusable out-transition of ``first`` (or None)."""
+        out_edges = sdfg.out_edges(first)
+        if len(out_edges) != 1:
+            return None
+        edge = out_edges[0]
+        second = edge.dst
+        if second is first:
+            return None
+        if len(sdfg.in_edges(second)) != 1:
+            return None
+        if not edge.data.is_unconditional or edge.data.assignments:
+            return None
+        if second is sdfg.start_state:
+            return None
+        return edge
 
     def _fuse(self, sdfg: SDFG, first: SDFGState, second: SDFGState, edge) -> None:
         # Last access node per container in the first state (for merging).
         last_in_first: Dict[str, AccessNode] = {}
-        first_nodes_of = {}
         for node in first.topological_nodes():
             if isinstance(node, AccessNode):
                 last_in_first[node.data] = node

@@ -10,58 +10,76 @@ propagation.
   symbols assigned exactly once to a constant (or to an expression over
   already-propagated symbols) are substituted everywhere and the dead
   assignment is removed.
+
+Both re-enumerate after every application (``DRAIN = "restart"``):
+promoting one scalar or propagating one symbol routinely makes the next
+site eligible (a chain of derived loop bounds resolves one link at a
+time).
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional
 
-from ..symbolic import Expr, Integer, SymbolicError, parse_expr
+from ..symbolic import Expr, SymbolicError, parse_expr
 from ..sdfg import SDFG, AccessNode, Scalar, SDFGState, Tasklet
 from ..sdfg.analysis import symbols_assigned_once
-from .pipeline import DataCentricPass
+from .rewrite import Match, Transformation
 
 _ASSIGNMENT_RE = re.compile(r"^\s*_out\s*=\s*(?P<expr>.+)\s*$")
 
 
-class ScalarToSymbolPromotion(DataCentricPass):
+class ScalarToSymbolPromotion(Transformation):
     """Promote write-once, symbolically-defined scalars to SDFG symbols."""
 
     NAME = "scalar-to-symbol"
+    DRAIN = "restart"
 
-    def apply(self, sdfg: SDFG) -> bool:
-        changed = False
+    def match(self, sdfg: SDFG) -> List[Match]:
+        matches: List[Match] = []
         for name in list(sdfg.arrays):
-            descriptor = sdfg.arrays.get(name)
-            if not isinstance(descriptor, Scalar) or not descriptor.transient:
-                continue
-            if descriptor.dtype not in ("int32", "int64", "bool", "int8"):
-                continue
-            promotion = self._find_promotion(sdfg, name)
+            promotion = self._promotable(sdfg, name)
             if promotion is None:
                 continue
-            state, write_node, tasklet, expression = promotion
-            # Remove the defining tasklet and access node; assign the symbol
-            # on the state's outgoing edges instead.
-            for edge in list(state.in_edges(write_node)):
-                state.remove_edge(edge)
-            for edge in list(state.in_edges(tasklet)):
-                state.remove_edge(edge)
-            state.remove_node(write_node)
-            state.remove_node(tasklet)
-            for out_edge in sdfg.out_edges(state):
-                out_edge.data.assignments[name] = expression
-            if not sdfg.out_edges(state):
-                # Terminal state: the value is never observed afterwards.
-                pass
-            del sdfg.arrays[name]
-            sdfg.add_symbol(name)
-            changed = True
-        return changed
+            state, _, _, expression = promotion
+            matches.append(Match(
+                transformation=self.name,
+                kind="scalar",
+                where=state.label,
+                subject=f"{name} = {expression}",
+                payload={"name": name},
+            ))
+        return matches
 
-    def _find_promotion(self, sdfg: SDFG, name: str):
+    def apply_match(self, sdfg: SDFG, match: Match) -> bool:
+        name = match.payload["name"]
+        promotion = self._promotable(sdfg, name)
+        if promotion is None:
+            return False
+        state, write_node, tasklet, expression = promotion
+        # Remove the defining tasklet and access node; assign the symbol
+        # on the state's outgoing edges instead.
+        for edge in list(state.in_edges(write_node)):
+            state.remove_edge(edge)
+        for edge in list(state.in_edges(tasklet)):
+            state.remove_edge(edge)
+        state.remove_node(write_node)
+        state.remove_node(tasklet)
+        for out_edge in sdfg.out_edges(state):
+            out_edge.data.assignments[name] = expression
+        del sdfg.arrays[name]
+        sdfg.add_symbol(name)
+        return True
+
+    def _promotable(self, sdfg: SDFG, name: str):
         """Return (state, access node, defining tasklet, expression) or None."""
+        descriptor = sdfg.arrays.get(name)
+        if not isinstance(descriptor, Scalar) or not descriptor.transient:
+            return None
+        if descriptor.dtype not in ("int32", "int64", "bool", "int8"):
+            return None
+
         write_state: Optional[SDFGState] = None
         write_node: Optional[AccessNode] = None
         defining: Optional[Tasklet] = None
@@ -109,31 +127,48 @@ class ScalarToSymbolPromotion(DataCentricPass):
         return write_state, write_node, defining, expression
 
 
-class SymbolPropagation(DataCentricPass):
+class SymbolPropagation(Transformation):
     """Forward-propagate symbols that are assigned exactly once."""
 
     NAME = "symbol-propagation"
+    DRAIN = "restart"
 
-    def apply(self, sdfg: SDFG) -> bool:
-        changed = False
-        for _ in range(8):
-            once = symbols_assigned_once(sdfg)
-            substitutions: Dict[str, Expr] = {}
-            for name, value in once.items():
-                if name in sdfg.arrays:
-                    continue
-                free = {symbol.name for symbol in value.free_symbols()}
-                if free & (set(once) | set(sdfg.arrays)):
-                    continue  # depends on other assigned names; next round
-                if name in free:
-                    continue
-                if value.is_constant():
-                    substitutions[name] = value
-            if not substitutions:
-                break
-            self._substitute(sdfg, substitutions)
-            changed = True
-        return changed
+    def match(self, sdfg: SDFG) -> List[Match]:
+        matches: List[Match] = []
+        for name, value in self._substitutable(sdfg).items():
+            matches.append(Match(
+                transformation=self.name,
+                kind="symbol",
+                where="<sdfg>",
+                subject=f"{name} = {value}",
+                payload={"name": name, "value": value},
+            ))
+        return matches
+
+    def apply_match(self, sdfg: SDFG, match: Match) -> bool:
+        name = match.payload["name"]
+        value = self._substitutable(sdfg).get(name)
+        if value is None or value != match.payload["value"]:
+            return False
+        self._substitute(sdfg, {name: value})
+        return True
+
+    @staticmethod
+    def _substitutable(sdfg: SDFG) -> Dict[str, Expr]:
+        """Symbols assigned exactly once to a constant, in assignment order."""
+        once = symbols_assigned_once(sdfg)
+        substitutions: Dict[str, Expr] = {}
+        for name, value in once.items():
+            if name in sdfg.arrays:
+                continue
+            free = {symbol.name for symbol in value.free_symbols()}
+            if free & (set(once) | set(sdfg.arrays)):
+                continue  # depends on other assigned names; next round
+            if name in free:
+                continue
+            if value.is_constant():
+                substitutions[name] = value
+        return substitutions
 
     def _substitute(self, sdfg: SDFG, substitutions: Dict[str, Expr]) -> None:
         # Interstate edges: conditions and (other) assignments.

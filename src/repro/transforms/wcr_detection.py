@@ -3,20 +3,21 @@
 SDFGs support a third data-movement mode besides read and write: *update*.
 Differentiating updates from plain writes enables automatic
 parallelization, better reduction schedules and wait-free communication.
-This pass traces symbolic expressions around tasklets: when a tasklet reads
-``A[s]``, combines it with another value using an associative binary
-operator, and writes the result back to ``A[s]`` (same subset), the read
-edge is removed and the write memlet becomes an update with the
-corresponding write-conflict-resolution (WCR) function.
+This pattern-based pass traces symbolic expressions around tasklets: a
+match is a tasklet that reads ``A[s]``, combines it with another value
+using an associative binary operator, and writes the result back to
+``A[s]`` (same subset); applying it removes the read edge and turns the
+write memlet into an update with the corresponding write-conflict-
+resolution (WCR) function.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..sdfg import SDFG, AccessNode, Tasklet
-from .pipeline import DataCentricPass
+from .rewrite import Match, Transformation
 
 #: Associative operators eligible for WCR conversion.
 _WCR_PATTERNS = {
@@ -25,54 +26,41 @@ _WCR_PATTERNS = {
 }
 
 
-class AugAssignToWCR(DataCentricPass):
+class AugAssignToWCR(Transformation):
     """Convert read-modify-write patterns into WCR (update) memlets."""
 
     NAME = "augassign-to-wcr"
+    DRAIN = "sweep"
 
-    def apply(self, sdfg: SDFG) -> bool:
-        changed = False
+    def match(self, sdfg: SDFG) -> List[Match]:
+        matches: List[Match] = []
         for state in sdfg.states():
-            for tasklet in list(state.tasklets()):
-                if tasklet not in state:
+            for tasklet in state.tasklets():
+                conversion = self._find_conversion(state, tasklet)
+                if conversion is None:
                     continue
-                if self._try_convert(sdfg, state, tasklet):
-                    changed = True
-        return changed
+                operator, _, write_edge = conversion
+                matches.append(Match(
+                    transformation=self.name,
+                    kind="update",
+                    where=state.label,
+                    subject=f"{tasklet.label}: {write_edge.data.data} (wcr {operator})",
+                    payload={"state": state, "tasklet": tasklet},
+                ))
+        return matches
 
-    def _try_convert(self, sdfg: SDFG, state, tasklet: Tasklet) -> bool:
+    def apply_match(self, sdfg: SDFG, match: Match) -> bool:
+        state = match.payload["state"]
+        tasklet: Tasklet = match.payload["tasklet"]
+        if tasklet not in state:
+            return False
+        conversion = self._find_conversion(state, tasklet)
+        if conversion is None:
+            return False
+        operator, read_edge, write_edge = conversion
+        read_connector = read_edge.dst_conn
         match_info = self._match_code(tasklet.code)
-        if match_info is None:
-            return False
-        operator, operand_a, operand_b = match_info
-
-        out_edges = [edge for edge in state.out_edges(tasklet) if not edge.data.is_empty]
-        if len(out_edges) != 1:
-            return False
-        write_edge = out_edges[0]
-        if not isinstance(write_edge.dst, AccessNode) or write_edge.data.wcr is not None:
-            return False
-        target = write_edge.data.data
-        target_subset = write_edge.data.subset
-
-        # Find the input edge reading the same container at the same subset.
-        read_edge = None
-        read_connector = None
-        for edge in state.in_edges(tasklet):
-            if edge.data.is_empty or edge.data.data != target:
-                continue
-            if edge.dst_conn not in (operand_a, operand_b):
-                continue
-            if (edge.data.subset is None) != (target_subset is None):
-                continue
-            if edge.data.subset is not None and edge.data.subset != target_subset:
-                continue
-            read_edge = edge
-            read_connector = edge.dst_conn
-            break
-        if read_edge is None:
-            return False
-
+        operand_a, operand_b = match_info[1], match_info[2]
         other_connector = operand_b if read_connector == operand_a else operand_a
         # Rewrite the tasklet: it now only forwards the other operand.
         tasklet.code = f"_out = {other_connector}"
@@ -85,6 +73,35 @@ class AugAssignToWCR(DataCentricPass):
             state.remove_node(source)
         write_edge.data.wcr = operator
         return True
+
+    def _find_conversion(self, state, tasklet: Tasklet):
+        """Return (operator, read edge, write edge) when the pattern holds."""
+        match_info = self._match_code(tasklet.code)
+        if match_info is None:
+            return None
+        operator, operand_a, operand_b = match_info
+
+        out_edges = [edge for edge in state.out_edges(tasklet) if not edge.data.is_empty]
+        if len(out_edges) != 1:
+            return None
+        write_edge = out_edges[0]
+        if not isinstance(write_edge.dst, AccessNode) or write_edge.data.wcr is not None:
+            return None
+        target = write_edge.data.data
+        target_subset = write_edge.data.subset
+
+        # Find the input edge reading the same container at the same subset.
+        for edge in state.in_edges(tasklet):
+            if edge.data.is_empty or edge.data.data != target:
+                continue
+            if edge.dst_conn not in (operand_a, operand_b):
+                continue
+            if (edge.data.subset is None) != (target_subset is None):
+                continue
+            if edge.data.subset is not None and edge.data.subset != target_subset:
+                continue
+            return operator, edge, write_edge
+        return None
 
     @staticmethod
     def _match_code(code: str) -> Optional[Tuple[str, str, str]]:

@@ -16,7 +16,20 @@ enumerates that neighbourhood of a base :class:`~repro.PipelineSpec`:
 * **iteration variants** — running a stage's fixpoint loop only once;
 * **codegen variants** — toggling the backend's
   :class:`~repro.CodegenOptions` flags (only the flags that affect the
-  spec's selected backend, so every candidate is a *distinct* compilation).
+  spec's selected backend, so every candidate is a *distinct* compilation);
+* **parameter variants** — for every data pass whose transformation class
+  declares tunable :attr:`~repro.transforms.Transformation.PARAMS` axes,
+  each preset value of each parameter (``param:stack-promotion:
+  max_elements=1024``);
+* **additions** — appending an ``ADDABLE`` parameterized scheduling
+  transform the spec lacks (``MapTiling``, ``MapInterchange``,
+  ``MapCollapse``, ``Vectorization``) with each preset of its primary
+  parameter — the tiled/vectorized schedules the paper's evaluation
+  hand-picks;
+* **match-limit variants** — capping a pattern-based pass at one
+  application (``max_applications=1``), the coarse form of per-match
+  enable subsets (``only_matches`` remains available through explicit
+  pass params).
 
 Candidates are deduplicated by spec :meth:`~repro.PipelineSpec.content_id`
 and enumerated in a deterministic order — the foundation of the seeded,
@@ -70,6 +83,9 @@ class SearchSpace:
         reorderings: bool = True,
         iteration_variants: bool = True,
         codegen_variants: bool = True,
+        parameter_variants: bool = True,
+        additions: bool = True,
+        limit_variants: bool = True,
     ):
         self.base = resolve_pipeline(base).validate()
         self.base_label = base if isinstance(base, str) else self.base.label
@@ -78,6 +94,9 @@ class SearchSpace:
         self.reorderings = reorderings
         self.iteration_variants = iteration_variants
         self.codegen_variants = codegen_variants
+        self.parameter_variants = parameter_variants
+        self.additions = additions
+        self.limit_variants = limit_variants
         self._candidates: "List[Candidate] | None" = None
 
     # -- enumeration -----------------------------------------------------------------
@@ -148,6 +167,86 @@ class SearchSpace:
                 found.append(Candidate(
                     spec=spec.derive(**{field_name: 1}),
                     origin=f"iterations:{stage}=1",
+                ))
+        if stage == "data":
+            if self.parameter_variants:
+                found.extend(self._parameter_variants(spec))
+            if self.limit_variants:
+                found.extend(self._limit_variants(spec))
+            if self.additions:
+                found.extend(self._additions(spec))
+        return found
+
+    # -- transformation-parameter axes -------------------------------------------------
+    def _parameter_variants(self, spec: PipelineSpec) -> List[Candidate]:
+        """Preset sweeps for every declared parameter of present data passes."""
+        from ..transforms import DATA_PASSES
+        from ..transforms.rewrite import Transformation, transformation_parameters
+
+        found: List[Candidate] = []
+        for index, pass_spec in enumerate(spec.data_passes):
+            cls = DATA_PASSES.get(pass_spec.name)
+            if not issubclass(cls, Transformation) or not cls.PARAMS:
+                continue
+            defaults = transformation_parameters(cls)
+            for param, presets in cls.PARAMS.items():
+                current = pass_spec.params.get(param, defaults.get(param))
+                for value in presets:
+                    if value == current:
+                        continue  # identical compilation, wasted candidate
+                    passes = list(spec.data_passes)
+                    passes[index] = pass_spec.with_params(**{param: value})
+                    found.append(Candidate(
+                        spec=spec.with_passes("data", passes),
+                        origin=f"param:{pass_spec.name}:{param}={value}",
+                    ))
+        return found
+
+    def _limit_variants(self, spec: PipelineSpec) -> List[Candidate]:
+        """Cap each pattern-based data pass at a single application."""
+        from ..transforms import DATA_PASSES
+        from ..transforms.rewrite import Transformation
+
+        found: List[Candidate] = []
+        for index, pass_spec in enumerate(spec.data_passes):
+            cls = DATA_PASSES.get(pass_spec.name)
+            if not issubclass(cls, Transformation):
+                continue
+            if pass_spec.params.get("max_applications") == 1:
+                continue
+            passes = list(spec.data_passes)
+            passes[index] = pass_spec.with_params(max_applications=1)
+            found.append(Candidate(
+                spec=spec.with_passes("data", passes),
+                origin=f"limit:{pass_spec.name}=1",
+            ))
+        return found
+
+    def _additions(self, spec: PipelineSpec) -> List[Candidate]:
+        """Append absent ADDABLE scheduling transforms, one preset per candidate."""
+        from ..transforms import DATA_PASSES
+        from ..transforms.rewrite import Transformation
+
+        if not spec.bridge:
+            return []  # scheduling transforms act on the SDFG side only
+        present = {pass_spec.name for pass_spec in spec.data_passes}
+        found: List[Candidate] = []
+        for name in DATA_PASSES.names():
+            cls = DATA_PASSES.get(name)
+            if not issubclass(cls, Transformation) or not cls.ADDABLE:
+                continue
+            if name in present:
+                continue
+            variants: List[Dict] = [{}]
+            if cls.PARAMS:
+                primary, presets = next(iter(cls.PARAMS.items()))
+                variants = [{primary: value} for value in presets]
+            for params in variants:
+                passes = list(spec.data_passes) + [(name, params)]
+                label = ", ".join(f"{k}={v}" for k, v in params.items())
+                found.append(Candidate(
+                    spec=spec.with_passes("data", passes),
+                    origin=f"add:{name}({label})" if label else f"add:{name}",
                 ))
         return found
 

@@ -14,6 +14,7 @@ import pytest
 from repro import compile_c, get_pipeline, run_compiled
 from repro.codegen import (
     ALLOCATION_COST_BYTES,
+    ITERATION_COST_BYTES,
     movement_score,
     sdfg_movement_report,
     sdfg_score,
@@ -89,8 +90,30 @@ class TestScoreMonotonicity:
         report = sdfg_movement_report(_scale_sdfg())
         report.allocations += 2
         assert movement_score(report, allocation_cost_bytes=10.0) == pytest.approx(
-            report.bytes_moved + 20.0
+            report.bytes_moved + 20.0 + ITERATION_COST_BYTES * report.iterations
         )
+
+    def test_iterations_are_penalized(self):
+        """The map scope's 8 iterations surface as loop-overhead cost."""
+        report = sdfg_movement_report(_scale_sdfg())
+        assert report.iterations == 8
+        baseline = movement_score(report)
+        report.iterations += 4
+        assert movement_score(report) == baseline + 4 * ITERATION_COST_BYTES
+        assert movement_score(report, iteration_cost_bytes=0.0) == pytest.approx(
+            report.bytes_moved + ALLOCATION_COST_BYTES * report.allocations
+        )
+
+    def test_vectorized_map_scores_strictly_better(self):
+        """Vector emission collapses the map's loop overhead to one step."""
+        scalar = sdfg_score(_scale_sdfg())
+        vectorized_sdfg = _scale_sdfg()
+        for state, entry in vectorized_sdfg.map_entries():
+            entry.map.vectorized = True
+        vectorized = sdfg_score(vectorized_sdfg)
+        assert vectorized < scalar
+        # Same traffic, 7 fewer loop iterations (8 -> 1).
+        assert scalar - vectorized == pytest.approx(7 * ITERATION_COST_BYTES)
 
 
 class TestScoreAgreesWithRuntime:

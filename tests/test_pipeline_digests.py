@@ -1,0 +1,53 @@
+"""Codegen digest regression net for the rewrite-engine refactor.
+
+``tests/data/pipeline_digests.json`` holds SHA-256 digests of the code the
+six registered pipelines generated for a fixed kernel set *before* the
+data-centric passes were ported onto the pattern-based rewrite engine.
+The port must be behaviour-preserving: every kernel/pipeline pair must
+still generate byte-identical code.  Any intentional codegen change must
+regenerate the file (see its ``comment`` field) in the same commit.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro import generate_program
+from repro.workloads import get_kernel, mish_source
+
+_DATA = os.path.join(os.path.dirname(os.path.abspath(__file__)), "data")
+
+
+def _document():
+    with open(os.path.join(_DATA, "pipeline_digests.json"), "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+DOCUMENT = _document()
+PAIRS = sorted(DOCUMENT["digests"])
+
+
+def _source(kernel: str) -> str:
+    if kernel == "mish":
+        return mish_source(DOCUMENT["mish"])
+    return get_kernel(kernel, DOCUMENT["sizes"][kernel])
+
+
+def test_digest_file_covers_the_six_registered_pipelines():
+    from repro.pipeline import PAPER_PIPELINES
+
+    covered = {pair.split("/", 1)[1] for pair in PAIRS}
+    assert covered == set(PAPER_PIPELINES)
+
+
+@pytest.mark.parametrize("pair", PAIRS)
+def test_codegen_matches_pre_refactor_digest(pair):
+    kernel, pipeline = pair.split("/", 1)
+    code = generate_program(_source(kernel), pipeline).code
+    digest = hashlib.sha256(code.encode("utf-8")).hexdigest()
+    assert digest == DOCUMENT["digests"][pair], (
+        f"{pair}: generated code diverged from the pre-refactor baseline; "
+        "if the change is intentional, regenerate tests/data/pipeline_digests.json"
+    )

@@ -143,6 +143,55 @@ class TestRegistry:
         assert "map-fusion" in str(excinfo.value)
 
 
+class TestPassSpecParams:
+    def test_params_feed_the_content_address(self):
+        from repro.pipeline.spec import PassSpec
+
+        base = get_pipeline("dcir")
+        tuned = base.derive()
+        tuned.data_passes.append(PassSpec("map-tiling", {"tile_size": 16}))
+        other = base.derive()
+        other.data_passes.append(PassSpec("map-tiling", {"tile_size": 32}))
+        assert tuned.content_id() != base.content_id()
+        assert tuned.content_id() != other.content_id()
+        assert "params" in tuned.cache_basis()["data_passes"][-1]
+
+    def test_params_serialize_and_roundtrip(self):
+        from repro.pipeline.spec import PassSpec
+
+        spec = PassSpec("stack-promotion", {"max_elements": 1024})
+        assert spec.to_dict() == {"name": "stack-promotion",
+                                  "params": {"max_elements": 1024}}
+        clone = PassSpec.of(spec.to_dict())
+        assert clone == spec and clone is not spec
+        assert clone.params is not spec.params
+
+    def test_legacy_options_key_and_alias_still_work(self):
+        from repro.pipeline.spec import PassSpec
+
+        legacy = PassSpec.of({"name": "map-fusion", "options": {"max_applications": 1}})
+        assert legacy.params == {"max_applications": 1}
+        assert legacy.options is legacy.params  # live alias
+        legacy.options = {"max_applications": 2}
+        assert legacy.params == {"max_applications": 2}
+
+    def test_with_params_returns_a_fresh_spec(self):
+        from repro.pipeline.spec import PassSpec
+
+        spec = PassSpec("vectorization", {"width": 4})
+        wider = spec.with_params(width=8)
+        assert wider.params == {"width": 8}
+        assert spec.params == {"width": 4}
+
+    def test_bad_params_fail_with_a_helpful_error(self):
+        spec = get_pipeline("dcir").derive()
+        from repro.pipeline.spec import PassSpec
+
+        spec.data_passes.append(PassSpec("map-tiling", {"no_such_param": 1}))
+        with pytest.raises(PipelineError, match="no_such_param"):
+            compile_c(SAXPY, spec)
+
+
 class TestSerialization:
     @pytest.mark.parametrize("name", _PAPER_NAMES)
     def test_roundtrip(self, name):

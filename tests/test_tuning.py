@@ -136,6 +136,70 @@ class TestSearchSpace:
         with pytest.raises(PipelineError, match="stage"):
             space.stage_mutations(space.base, "frontend")
 
+    def test_parameter_axes_sweep_declared_presets(self):
+        space = SearchSpace("dcir", include_registered=False, ablations=False,
+                            reorderings=False, iteration_variants=False,
+                            codegen_variants=False, additions=False,
+                            limit_variants=False)
+        origins = {c.origin for c in space.candidates() if c.origin.startswith("param:")}
+        # stack-promotion is the only paper-suite pass with a declared axis;
+        # its default preset is skipped (identical compilation).
+        assert origins == {
+            "param:stack-promotion:max_elements=1024",
+            "param:stack-promotion:max_elements=16384",
+            "param:stack-promotion:max_elements=262144",
+        }
+        for candidate in space.candidates():
+            if candidate.origin.startswith("param:"):
+                promo = [p for p in candidate.spec.data_passes if p.name == "stack-promotion"]
+                assert len(promo) == 1 and "max_elements" in promo[0].params
+
+    def test_additions_propose_addable_scheduling_transforms(self):
+        space = SearchSpace("dcir", include_registered=False, ablations=False,
+                            reorderings=False, iteration_variants=False,
+                            codegen_variants=False, parameter_variants=False,
+                            limit_variants=False)
+        origins = {c.origin for c in space.candidates() if c.origin.startswith("add:")}
+        assert "add:map-tiling(tile_size=16)" in origins
+        assert "add:vectorization(width=None)" in origins
+        assert "add:map-interchange" in origins
+        assert "add:map-collapse" in origins
+        # Added passes land at the end of the data stage with their params.
+        tiled = next(c for c in space.candidates()
+                     if c.origin == "add:map-tiling(tile_size=16)")
+        assert tiled.spec.data_passes[-1].name == "map-tiling"
+        assert tiled.spec.data_passes[-1].params == {"tile_size": 16}
+
+    def test_additions_skip_non_bridge_pipelines(self):
+        space = SearchSpace("gcc", include_registered=False)
+        assert not any(c.origin.startswith(("add:", "param:", "limit:"))
+                       for c in space.candidates())
+
+    def test_limit_variants_cap_pattern_passes(self):
+        space = SearchSpace("dcir", include_registered=False, ablations=False,
+                            reorderings=False, iteration_variants=False,
+                            codegen_variants=False, parameter_variants=False,
+                            additions=False)
+        limited = [c for c in space.candidates() if c.origin.startswith("limit:")]
+        assert len(limited) == len(space.base.data_passes)
+        for candidate in limited:
+            name = candidate.origin[len("limit:"):-2]
+            spec = next(p for p in candidate.spec.data_passes if p.name == name)
+            assert spec.params.get("max_applications") == 1
+
+    def test_parameterized_candidates_compile_and_score(self):
+        """Greedy over the parameterized space never loses to dcir (atax has
+        a map scope, so vectorization/tiling candidates are live)."""
+        report = tune_kernel(
+            "atax", strategy=GreedyStrategy(rounds=1), session=_session(),
+            space=SearchSpace("dcir", include_registered=False),
+        )
+        base_entry = next(e for e in report.ranking if e.candidate.origin == "base")
+        assert report.winner is not None
+        assert report.winner.score <= base_entry.score
+        scored_origins = {e.candidate.origin for e in report.ranking if e.ok}
+        assert any(o.startswith("add:vectorization") for o in scored_origins)
+
 
 # -- strategies and evaluators -----------------------------------------------------------
 
