@@ -103,8 +103,15 @@ from .pipeline import (
     run_compiled,
     unregister_pipeline,
 )
+from .codegen import (
+    CompiledNative,
+    NativeCodegenError,
+    ToolchainError,
+    generate_c_code,
+    have_compiler,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from .service import (  # noqa: E402  (needs __version__ for cache keys)
     CompileCache,
@@ -125,7 +132,9 @@ __all__ = [
     "CompilationReport",
     "CompileCache",
     "CompileResult",
+    "CompiledNative",
     "GeneratedProgram",
+    "NativeCodegenError",
     "PIPELINES",
     "PassSpec",
     "PipelineError",
@@ -134,12 +143,15 @@ __all__ = [
     "SearchSpace",
     "Session",
     "SuiteReport",
+    "ToolchainError",
     "TuningReport",
     "__version__",
     "compile_and_run",
     "compile_c",
     "compile_many",
+    "generate_c_code",
     "generate_program",
+    "have_compiler",
     "get_pipeline",
     "list_pipelines",
     "register_pipeline",

@@ -90,15 +90,27 @@ def _load_source(args) -> str:
 
 
 def _load_pipeline(args) -> PipelineLike:
+    pipeline: PipelineLike = args.pipeline
     if args.spec is not None:
         try:
             with open(args.spec, "r", encoding="utf-8") as handle:
-                return PipelineSpec.from_dict(json.load(handle))
+                pipeline = PipelineSpec.from_dict(json.load(handle))
         except OSError as exc:
             raise SystemExit(f"Cannot read spec file {args.spec!r}: {exc}")
         except (ValueError, KeyError, TypeError, PipelineError) as exc:
             raise SystemExit(f"Bad pipeline spec in {args.spec!r}: {exc}")
-    return args.pipeline
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        from .pipeline import resolve_pipeline
+
+        spec = resolve_pipeline(pipeline)
+        if spec.codegen.backend != backend:
+            # Keep the registered name: --backend selects how the same
+            # pipeline executes, it is not an ablation of it.
+            pipeline = spec.with_codegen(backend=backend).derive(
+                name=spec.name, description=spec.description
+            )
+    return pipeline
 
 
 def _add_compile_arguments(parser: argparse.ArgumentParser) -> None:
@@ -112,6 +124,12 @@ def _add_compile_arguments(parser: argparse.ArgumentParser) -> None:
         "--spec", help="JSON file holding a PipelineSpec (overrides --pipeline)"
     )
     parser.add_argument("--function", help="function to compile (defaults to the only one)")
+    parser.add_argument(
+        "--backend",
+        choices=("python", "native"),
+        help="execution backend for data-centric pipelines: interpreted "
+        "Python (default) or C compiled with the system compiler",
+    )
 
 
 def _cmd_list_pipelines(args) -> int:
@@ -168,6 +186,10 @@ def _cmd_compile(args) -> int:
         for stage, seconds in program.stage_seconds.items():
             print(f"  {stage:<10} {seconds * 1e3:8.2f} ms")
         print(f"code:     {len(program.code)} bytes")
+        if program.native_code is not None:
+            print(f"native:   {len(program.native_code)} bytes of C")
+        elif program.native_fallback is not None:
+            print(f"native:   fell back to python ({program.native_fallback})")
         if args.verbose and program.report is not None:
             # Per-pass records with the pattern engine's site accounting.
             from .passbase import match_suffix
@@ -182,11 +204,13 @@ def _cmd_compile(args) -> int:
                         f"{record.seconds * 1e3:8.2f} ms" + match_suffix(record)
                     )
     elif args.output is None:
-        sys.stdout.write(program.code)
+        # --backend native prints the C translation unit (the artifact the
+        # native backend actually executes); otherwise the Python program.
+        sys.stdout.write(program.native_code or program.code)
     if args.output is not None:
         try:
             with open(args.output, "w", encoding="utf-8") as output:
-                output.write(program.code)
+                output.write(program.native_code or program.code)
         except OSError as exc:
             raise SystemExit(f"Cannot write {args.output!r}: {exc}")
     return 0
@@ -252,8 +276,14 @@ def _cmd_transforms(args) -> int:
 
 def _cmd_run(args) -> int:
     result = compile_c(_load_source(args), _load_pipeline(args), function=args.function)
-    run = run_compiled(result, repetitions=args.repetitions)
+    # One warm-up rep absorbs first-call costs (for the native backend
+    # that includes cc + dlopen) so "run (best)" reflects steady state.
+    run = run_compiled(result, repetitions=args.repetitions, warmup=1, disable_gc=True)
+    backend = result.backend
+    if result.backend_diagnostic is not None:
+        backend += f" (native unavailable: {result.backend_diagnostic})"
     print(f"pipeline:     {result.pipeline}")
+    print(f"backend:      {backend}")
     print(f"compile:      {result.compile_seconds * 1e3:.2f} ms")
     print(f"run (best):   {run.seconds * 1e3:.4f} ms over {len(run.rep_seconds)} reps")
     print(f"allocations:  {run.allocations}")

@@ -20,6 +20,7 @@ from .cost_model import (
 )
 from .loader import ProgramLoadError, load_entry
 from .mlir_python import CompiledMLIR, MLIRCodegenError, compile_mlir, generate_mlir_code
+from .sdfg_c import NativeCodegenError, SDFGCGenerator, c_symbolic, generate_c_code
 from .sdfg_python import (
     CodegenError,
     CompiledSDFG,
@@ -29,6 +30,13 @@ from .sdfg_python import (
     vectorizable_map,
     python_expr,
 )
+from .toolchain import (
+    CompiledNative,
+    ToolchainError,
+    compile_shared,
+    find_compiler,
+    have_compiler,
+)
 
 __all__ = [
     "ALLOCATION_COST_BYTES",
@@ -36,20 +44,29 @@ __all__ = [
     "BranchNode",
     "CodegenError",
     "CompiledMLIR",
+    "CompiledNative",
     "CompiledSDFG",
     "ControlFlowBuilder",
     "DispatchNode",
     "LoopNode",
     "MLIRCodegenError",
     "MovementReport",
+    "NativeCodegenError",
     "ProgramLoadError",
+    "SDFGCGenerator",
     "SDFGPythonGenerator",
     "SequenceNode",
     "StateNode",
+    "ToolchainError",
     "build_control_flow",
+    "c_symbolic",
     "compile_mlir",
     "compile_sdfg",
+    "compile_shared",
+    "find_compiler",
+    "generate_c_code",
     "generate_code",
+    "have_compiler",
     "vectorizable_map",
     "generate_mlir_code",
     "load_entry",

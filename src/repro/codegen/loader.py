@@ -4,10 +4,20 @@ Both code generators emit *self-contained* Python source (imports included)
 whose top level defines a ``run(**kwargs)`` function.  That makes the code
 string the canonical serializable artifact: the compile cache stores it,
 and rehydration is a single ``exec`` — no IR objects required.
+
+Generated code is registered in :mod:`linecache` under a per-artifact
+filename (the requested name suffixed with the content hash), so a
+traceback raised inside a generated ``run()`` shows the offending
+generated source line instead of a blank frame.  The hash suffix matters:
+callers reuse display names like ``<cached:dcir>`` for *different*
+programs, and keying the cache on the bare name would show one kernel's
+source in another kernel's traceback.
 """
 
 from __future__ import annotations
 
+import hashlib
+import linecache
 from typing import Callable, Dict
 
 
@@ -15,10 +25,26 @@ class ProgramLoadError(Exception):
     """Raised when generated code does not define the expected entry point."""
 
 
+def _register_source(code: str, filename: str) -> str:
+    """Register ``code`` in linecache; return the unique per-artifact filename."""
+    digest = hashlib.sha256(code.encode("utf-8")).hexdigest()[:12]
+    unique = f"<{filename.strip('<>')}#{digest}>"
+    # mtime=None marks the entry as non-file-backed, so
+    # ``linecache.checkcache`` never evicts it in favor of the filesystem.
+    linecache.cache[unique] = (
+        len(code),
+        None,
+        code.splitlines(keepends=True),
+        unique,
+    )
+    return unique
+
+
 def load_entry(code: str, entry: str = "run", filename: str = "<generated>") -> Callable:
     """Execute generated source and return its ``entry`` callable."""
     namespace: Dict[str, object] = {}
-    exec(compile(code, filename, "exec"), namespace)
+    unique = _register_source(code, filename)
+    exec(compile(code, unique, "exec"), namespace)
     try:
         function = namespace[entry]
     except KeyError:

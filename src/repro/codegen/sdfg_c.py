@@ -1,0 +1,978 @@
+"""SDFG → C code generation (the native backend).
+
+The paper's evaluation measures wall-clock time of *compiled* binaries;
+this generator emits a C translation unit from the SDFG so schedules can
+be validated against real machine code instead of the interpreted Python
+backend.  It mirrors :class:`~repro.codegen.sdfg_python.SDFGPythonGenerator`
+structurally — same control-flow tree, same state/scope emission order,
+same lazy allocation accounting — so a native run and an interpreted run
+of the same SDFG report identical ``__allocations`` counts and outputs:
+
+* raised control flow becomes ``while``/``if``/``for`` statements (the
+  dispatch fallback becomes an integer state machine);
+* map scopes become counted loops; maps annotated by ``Vectorization``
+  (or swept by the global ``vectorize`` flag) become SIMD-friendly inner
+  loops (``#pragma GCC ivdep`` over the fixed-width body the transform
+  already tiled);
+* WCR memlets become in-place accumulations (``+=``, ``*=``, min/max);
+* transient arrays become ``malloc``/``free`` pairs; the allocation
+  counter is threaded out through a pointer argument.
+
+The generated source is self-contained and carries a one-line JSON ABI
+header (interface containers, free symbols, constants), so
+:class:`~repro.codegen.toolchain.CompiledNative` can rebuild the ctypes
+marshalling layer from the code string alone — the same
+rehydrate-from-source contract as ``CompiledSDFG.from_code``.
+
+Constructs the scalar C model cannot express (MLIR-language tasklets,
+streams, whole-array connector bindings, strided subset writes) raise
+:class:`NativeCodegenError`; the pipeline layer falls back to the Python
+backend with a diagnostic rather than failing the compilation.
+
+Python-semantics note: ``/`` always divides in ``double`` (the tasklet
+raiser emits ``//`` for integer division), ``//``/``%`` follow Python's
+floor/sign rules via inline helpers, and ``int()`` truncates toward zero
+— all matching the interpreted backend so differential checks compare
+equal bit-for-bit on integer data.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..symbolic import Expr, Subset
+from ..symbolic.expr import (
+    Add,
+    And,
+    BoolConst,
+    Compare,
+    Div,
+    Float,
+    FloorDiv,
+    Integer,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Not,
+    Or,
+    Pow,
+    Symbol,
+)
+from ..sdfg import SDFG, AccessNode, Memlet, SDFGState, Scalar, Tasklet
+from ..sdfg.data import Array, DTYPES, LIFETIME_PERSISTENT, Stream
+from ..sdfg.nodes import MapEntry, MapExit, is_scope_entry, is_scope_exit
+from .control_flow import (
+    BranchNode,
+    ControlFlowNode,
+    DispatchNode,
+    LoopNode,
+    SequenceNode,
+    StateNode,
+    build_control_flow,
+)
+from .sdfg_python import CodegenError, vectorizable_map
+from .toolchain import ABI_MARKER
+
+#: Exported entry-point symbol of every generated translation unit.
+ENTRY_SYMBOL = "repro_run"
+
+
+class NativeCodegenError(CodegenError):
+    """Raised when an SDFG uses constructs the C backend cannot express.
+
+    The pipeline layer treats this as "fall back to the Python backend",
+    not as a compilation failure.
+    """
+
+
+_HELPERS = """\
+static inline int64_t repro_fdiv_i64(int64_t a, int64_t b) {
+    int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) q -= 1;  /* Python floor division */
+    return q;
+}
+static inline int64_t repro_mod_i64(int64_t a, int64_t b) {
+    int64_t r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0))) r += b;  /* Python sign-of-divisor rule */
+    return r;
+}
+static inline double repro_mod_f64(double a, double b) {
+    double r = fmod(a, b);
+    if (r != 0.0 && ((r < 0.0) != (b < 0.0))) r += b;
+    return r;
+}
+static inline int64_t repro_min_i64(int64_t a, int64_t b) { return a < b ? a : b; }
+static inline int64_t repro_max_i64(int64_t a, int64_t b) { return a > b ? a : b; }
+static inline double repro_min_f64(double a, double b) { return a < b ? a : b; }
+static inline double repro_max_f64(double a, double b) { return a > b ? a : b; }
+static inline int64_t repro_abs_i64(int64_t a) { return a < 0 ? -a : a; }\
+"""
+
+
+def _int_literal(value: int) -> str:
+    return f"{value}LL" if abs(value) > 2**31 - 1 else str(value)
+
+
+def _contains_float(expression: Expr) -> bool:
+    if isinstance(expression, Float):
+        return True
+    for attr in ("args",):
+        children = getattr(expression, attr, None)
+        if children is not None:
+            return any(_contains_float(child) for child in children)
+    return any(
+        _contains_float(child)
+        for attr in ("num", "den", "base", "exp", "lhs", "rhs", "arg")
+        for child in [getattr(expression, attr, None)]
+        if isinstance(child, Expr)
+    )
+
+
+def c_symbolic(expression: Expr) -> str:
+    """Render a symbolic expression as C source (the ``python_expr`` analog)."""
+    if isinstance(expression, Integer):
+        return _int_literal(expression.value)
+    if isinstance(expression, Float):
+        return repr(expression.value)
+    if isinstance(expression, Symbol):
+        return expression.name
+    if isinstance(expression, Add):
+        return "(" + " + ".join(c_symbolic(arg) for arg in expression.args) + ")"
+    if isinstance(expression, Mul):
+        return "(" + " * ".join(c_symbolic(arg) for arg in expression.args) + ")"
+    if isinstance(expression, Div):
+        return (
+            f"((double)({c_symbolic(expression.num)}) / "
+            f"(double)({c_symbolic(expression.den)}))"
+        )
+    if isinstance(expression, FloorDiv):
+        return (
+            f"repro_fdiv_i64((int64_t)({c_symbolic(expression.num)}), "
+            f"(int64_t)({c_symbolic(expression.den)}))"
+        )
+    if isinstance(expression, Mod):
+        return (
+            f"repro_mod_i64((int64_t)({c_symbolic(expression.num)}), "
+            f"(int64_t)({c_symbolic(expression.den)}))"
+        )
+    if isinstance(expression, Pow):
+        return (
+            f"pow((double)({c_symbolic(expression.base)}), "
+            f"(double)({c_symbolic(expression.exp)}))"
+        )
+    if isinstance(expression, (Min, Max)):
+        # Bounds and tiling clamps are integral; a float literal anywhere in
+        # the tree switches to the double helper.
+        suffix = "f64" if _contains_float(expression) else "i64"
+        kind = "min" if isinstance(expression, Min) else "max"
+        text = c_symbolic(expression.args[0])
+        for arg in expression.args[1:]:
+            text = f"repro_{kind}_{suffix}({text}, {c_symbolic(arg)})"
+        return text
+    if isinstance(expression, BoolConst):
+        return "1" if expression.value else "0"
+    if isinstance(expression, Compare):
+        return (
+            f"(({c_symbolic(expression.lhs)}) {expression.op} "
+            f"({c_symbolic(expression.rhs)}))"
+        )
+    if isinstance(expression, And):
+        return "(" + " && ".join(f"({c_symbolic(a)})" for a in expression.args) + ")"
+    if isinstance(expression, Or):
+        return "(" + " || ".join(f"({c_symbolic(a)})" for a in expression.args) + ")"
+    if isinstance(expression, Not):
+        return f"(!({c_symbolic(expression.arg)}))"
+    raise NativeCodegenError(
+        f"Cannot render symbolic expression {expression!r} as C"
+    )
+
+
+def _is_float_type(ctype: str) -> bool:
+    return ctype in ("double", "float")
+
+
+def _promote(left: str, right: str) -> str:
+    if "double" in (left, right):
+        return "double"
+    if "float" in (left, right):
+        return "float"
+    return "int64_t"
+
+
+_CMP_OPS = {
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+}
+
+_UNARY_MATH = {"sqrt", "exp", "log", "log2", "sin", "cos", "tanh", "fabs"}
+_BINARY_MATH = {"atan2", "pow"}
+
+
+class _TaskletTranslator:
+    """Translates one tasklet's Python assignment lines into C statements.
+
+    Tasklet code (see :mod:`repro.conversion.raise_tasklets`) is a flat
+    sequence of ``name = <expression>`` lines over a small expression
+    grammar.  Each emitted tasklet gets a unique name prefix, so its
+    locals live at the enclosing C scope without colliding across
+    tasklets or loop iterations.
+    """
+
+    def __init__(self, generator: "SDFGCGenerator", prefix: str,
+                 rename: Dict[str, Optional[str]], types: Dict[str, str]):
+        self.generator = generator
+        self.prefix = prefix
+        self.rename = rename
+        self.types = types
+
+    def translate(self, code: str) -> None:
+        try:
+            tree = ast.parse(code)
+        except SyntaxError as exc:
+            raise NativeCodegenError(f"Unparseable tasklet code: {exc}") from exc
+        for statement in tree.body:
+            if (
+                not isinstance(statement, ast.Assign)
+                or len(statement.targets) != 1
+                or not isinstance(statement.targets[0], ast.Name)
+            ):
+                raise NativeCodegenError(
+                    "Native backend supports only 'name = expression' tasklet lines"
+                )
+            name = statement.targets[0].id
+            text, ctype = self._visit(statement.value)
+            mangled = self.rename.get(name)
+            if mangled is None:
+                mangled = self.prefix + name
+                self.rename[name] = mangled
+            if mangled in self.types:
+                self.generator.writer.emit(f"{mangled} = {text};")
+            else:
+                self.types[mangled] = ctype
+                self.generator.writer.emit(f"{ctype} {mangled} = {text};")
+
+    # -- expression lowering -----------------------------------------------------------
+    def _visit(self, node: ast.expr) -> Tuple[str, str]:
+        if isinstance(node, ast.Constant):
+            value = node.value
+            if isinstance(value, bool):
+                return ("1" if value else "0"), "int64_t"
+            if isinstance(value, int):
+                return _int_literal(value), "int64_t"
+            if isinstance(value, float):
+                return repr(value), "double"
+            raise NativeCodegenError(f"Unsupported tasklet constant {value!r}")
+        if isinstance(node, ast.Name):
+            return self._name(node.id)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.UnaryOp):
+            text, ctype = self._visit(node.operand)
+            if isinstance(node.op, ast.USub):
+                return f"(-({text}))", ctype
+            if isinstance(node.op, ast.UAdd):
+                return f"(+({text}))", ctype
+            if isinstance(node.op, ast.Not):
+                return f"(!({text}))", "int64_t"
+            if isinstance(node.op, ast.Invert):
+                return f"(~({text}))", ctype
+            raise NativeCodegenError(f"Unsupported unary operator {node.op!r}")
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1 or len(node.comparators) != 1:
+                raise NativeCodegenError("Chained comparisons are not supported")
+            operator = _CMP_OPS.get(type(node.ops[0]))
+            if operator is None:
+                raise NativeCodegenError(f"Unsupported comparison {node.ops[0]!r}")
+            left, _ = self._visit(node.left)
+            right, _ = self._visit(node.comparators[0])
+            return f"(({left}) {operator} ({right}))", "int64_t"
+        if isinstance(node, ast.BoolOp):
+            joiner = " && " if isinstance(node.op, ast.And) else " || "
+            parts = [f"({self._visit(value)[0]})" for value in node.values]
+            return "(" + joiner.join(parts) + ")", "int64_t"
+        if isinstance(node, ast.IfExp):
+            condition, _ = self._visit(node.test)
+            then_text, then_type = self._visit(node.body)
+            else_text, else_type = self._visit(node.orelse)
+            return (
+                f"(({condition}) ? ({then_text}) : ({else_text}))",
+                _promote(then_type, else_type),
+            )
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        raise NativeCodegenError(
+            f"Unsupported tasklet expression {ast.dump(node)}"
+        )
+
+    def _name(self, name: str) -> Tuple[str, str]:
+        if name in self.rename:
+            mangled = self.rename[name]
+            if mangled is None:
+                raise NativeCodegenError(
+                    f"Tasklet reads connector {name!r} bound to an empty memlet"
+                )
+            return mangled, self.types[mangled]
+        sdfg = self.generator.sdfg
+        if name in sdfg.symbols:
+            return name, DTYPES[sdfg.symbols[name]].c_type
+        if name in sdfg.constants:
+            value = sdfg.constants[name]
+            return name, "double" if isinstance(value, float) else "int64_t"
+        raise NativeCodegenError(f"Tasklet references unknown name {name!r}")
+
+    def _binop(self, node: ast.BinOp) -> Tuple[str, str]:
+        left, left_type = self._visit(node.left)
+        right, right_type = self._visit(node.right)
+        floats = _is_float_type(left_type) or _is_float_type(right_type)
+        operator = node.op
+        if isinstance(operator, ast.Div):
+            # Python true division: always double (the raiser uses // for ints).
+            return f"((double)({left}) / (double)({right}))", "double"
+        if isinstance(operator, ast.FloorDiv):
+            if floats:
+                return f"floor((double)({left}) / (double)({right}))", "double"
+            return f"repro_fdiv_i64((int64_t)({left}), (int64_t)({right}))", "int64_t"
+        if isinstance(operator, ast.Mod):
+            if floats:
+                return f"repro_mod_f64((double)({left}), (double)({right}))", "double"
+            return f"repro_mod_i64((int64_t)({left}), (int64_t)({right}))", "int64_t"
+        if isinstance(operator, ast.Pow):
+            return f"pow((double)({left}), (double)({right}))", "double"
+        simple = {
+            ast.Add: "+",
+            ast.Sub: "-",
+            ast.Mult: "*",
+            ast.BitAnd: "&",
+            ast.BitOr: "|",
+            ast.BitXor: "^",
+            ast.LShift: "<<",
+            ast.RShift: ">>",
+        }.get(type(operator))
+        if simple is None:
+            raise NativeCodegenError(f"Unsupported binary operator {operator!r}")
+        return f"(({left}) {simple} ({right}))", _promote(left_type, right_type)
+
+    def _call(self, node: ast.Call) -> Tuple[str, str]:
+        if node.keywords:
+            raise NativeCodegenError("Keyword arguments are not supported in tasklets")
+        args = [self._visit(argument) for argument in node.args]
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "math"
+        ):
+            name = func.attr
+            if name in _UNARY_MATH and len(args) == 1:
+                return f"{name}((double)({args[0][0]}))", "double"
+            if name in _BINARY_MATH and len(args) == 2:
+                return (
+                    f"{name}((double)({args[0][0]}), (double)({args[1][0]}))",
+                    "double",
+                )
+            if name in ("floor", "ceil") and len(args) == 1:
+                # math.floor/ceil return Python ints; the cast keeps parity.
+                return f"(int64_t){name}((double)({args[0][0]}))", "int64_t"
+            raise NativeCodegenError(f"Unsupported math function math.{name}")
+        if not isinstance(func, ast.Name):
+            raise NativeCodegenError("Unsupported tasklet call target")
+        name = func.id
+        if name == "float" and len(args) == 1:
+            return f"((double)({args[0][0]}))", "double"
+        if name == "int" and len(args) == 1:
+            return f"((int64_t)({args[0][0]}))", "int64_t"
+        if name == "bool" and len(args) == 1:
+            return f"(({args[0][0]}) != 0)", "int64_t"
+        if name == "abs" and len(args) == 1:
+            text, ctype = args[0]
+            if _is_float_type(ctype):
+                return f"fabs((double)({text}))", "double"
+            return f"repro_abs_i64((int64_t)({text}))", "int64_t"
+        if name in ("min", "max") and len(args) >= 2:
+            result_type = "int64_t"
+            for _, ctype in args:
+                result_type = _promote(result_type, ctype)
+            suffix = "f64" if _is_float_type(result_type) else "i64"
+            text = args[0][0]
+            for argument, _ in args[1:]:
+                text = f"repro_{name}_{suffix}({text}, {argument})"
+            return text, "double" if suffix == "f64" else "int64_t"
+        raise NativeCodegenError(f"Unsupported tasklet call {name!r}")
+
+
+class _CWriter:
+    """Tiny indentation-aware C source writer."""
+
+    def __init__(self):
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def emit(self, line: str = "") -> None:
+        self.lines.append("    " * self.indent + line if line else "")
+
+    def brace(self, header: str):
+        writer = self
+
+        class _Block:
+            def __enter__(self_inner):
+                writer.emit(header + " {")
+                writer.indent += 1
+
+            def __exit__(self_inner, *exc):
+                writer.indent -= 1
+                writer.emit("}")
+
+        return _Block()
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class SDFGCGenerator:
+    """Generates a C translation unit implementing an SDFG.
+
+    Traversal order deliberately mirrors ``SDFGPythonGenerator`` (same
+    control-flow tree, same topological node order, same first-use lazy
+    allocation accounting) so the native and interpreted backends agree
+    on outputs *and* on the reported allocation count.
+    """
+
+    def __init__(self, sdfg: SDFG, vectorize: bool = False, count_allocations: bool = True):
+        self.sdfg = sdfg
+        self.vectorize = vectorize
+        self.count_allocations = count_allocations
+        self.writer = _CWriter()
+        self._value_counter = 0
+        self._tasklet_counter = 0
+        self._bound_counter = 0
+        self._dispatch_counter = 0
+        self._allocated_persistent: Set[str] = set()
+        self._value_types: Dict[str, str] = {}
+        self._declared: Set[str] = set()
+        self._heap: List[str] = []
+        self._interface = self._interface_containers()
+
+    # -- public -------------------------------------------------------------------
+    def generate(self) -> str:
+        writer = self.writer
+        writer.emit("/* Generated by repro.codegen.sdfg_c — native SDFG backend. */")
+        writer.emit(f"/* {ABI_MARKER} {json.dumps(self.abi(), sort_keys=True)} */")
+        writer.emit("#include <math.h>")
+        writer.emit("#include <stdint.h>")
+        writer.emit("#include <stdlib.h>")
+        writer.emit()
+        for line in _HELPERS.splitlines():
+            writer.emit(line)
+        writer.emit()
+        with writer.brace(f"void {ENTRY_SYMBOL}({self._signature()})"):
+            self._emit_prologue()
+            tree = build_control_flow(self.sdfg)
+            self._emit_sequence(tree)
+            self._emit_epilogue()
+        return writer.text()
+
+    def abi(self) -> Dict:
+        """The JSON ABI header: everything the ctypes wrapper must know."""
+        args = []
+        for name in self._interface:
+            descriptor = self.sdfg.arrays[name]
+            entry = {
+                "name": name,
+                "kind": "scalar" if isinstance(descriptor, Scalar) else "array",
+                "dtype": descriptor.dtype,
+                "transient": bool(descriptor.transient),
+            }
+            if isinstance(descriptor, Array):
+                entry["shape"] = [str(dim) for dim in descriptor.shape]
+            args.append(entry)
+        return {
+            "entry": ENTRY_SYMBOL,
+            "name": self.sdfg.name,
+            "args": args,
+            "symbols": sorted(self.sdfg.free_symbols()),
+            "constants": dict(self.sdfg.constants),
+        }
+
+    # -- interface / signature ---------------------------------------------------------
+    def _interface_containers(self) -> List[str]:
+        """Containers crossing the ABI, in the epilogue's output order."""
+        names = []
+        for name, descriptor in self.sdfg.arrays.items():
+            if not descriptor.transient or name in self.sdfg.return_values:
+                names.append(name)
+        return list(dict.fromkeys(names))
+
+    def _signature(self) -> str:
+        parameters = []
+        for name in self._interface:
+            descriptor = self.sdfg.arrays[name]
+            if isinstance(descriptor, Stream):
+                raise NativeCodegenError(f"Stream container {name!r} crosses the ABI")
+            ctype = DTYPES[descriptor.dtype].c_type
+            if isinstance(descriptor, Scalar):
+                parameters.append(f"{ctype} *_io_{name}")
+            else:
+                parameters.append(f"{ctype} *restrict {name}")
+                self._declared.add(name)
+        for symbol in sorted(self.sdfg.free_symbols()):
+            dtype = self.sdfg.symbols.get(symbol, "int64")
+            if dtype.startswith("float"):
+                raise NativeCodegenError(f"Non-integer free symbol {symbol!r}")
+            parameters.append(f"int64_t {symbol}")
+            self._declared.add(symbol)
+        parameters.append("int64_t *_alloc_out")
+        return ", ".join(parameters)
+
+    # -- prologue / epilogue -----------------------------------------------------------
+    def _emit_prologue(self) -> None:
+        writer = self.writer
+        writer.emit("int64_t _alloc_count = 0;")
+        for name, value in self.sdfg.constants.items():
+            ctype = "double" if isinstance(value, float) else "int64_t"
+            writer.emit(f"const {ctype} {name} = {value!r};")
+            self._declared.add(name)
+        free = self.sdfg.free_symbols()
+        for name in sorted(set(self.sdfg.symbols) - free - set(self.sdfg.constants)):
+            ctype = DTYPES[self.sdfg.symbols[name]].c_type
+            zero = "0.0" if _is_float_type(ctype) else "0"
+            writer.emit(f"{ctype} {name} = {zero};")
+            self._declared.add(name)
+        # Interstate assignments may introduce loop variables that were
+        # never registered as SDFG symbols; Python creates them on first
+        # assignment, C must declare them up front.
+        for edge in self.sdfg.edges():
+            for name in edge.data.assignments:
+                if name not in self._declared:
+                    writer.emit(f"int64_t {name} = 0;")
+                    self._declared.add(name)
+        # Interface scalars: read through the in/out cell (the wrapper
+        # seeds it with the caller's value, or 0 for transient outputs —
+        # exactly `_args.get(name, default)` / `name = 0` in Python).
+        for name in self._interface:
+            descriptor = self.sdfg.arrays[name]
+            if isinstance(descriptor, Scalar):
+                ctype = DTYPES[descriptor.dtype].c_type
+                writer.emit(f"{ctype} {name} = *_io_{name};")
+                self._declared.add(name)
+        # Transient storage.  Interface transients (return values) are
+        # wrapper-allocated parameters; everything else is malloc'd here.
+        # Allocation *counting* mirrors the Python backend exactly:
+        # persistent containers are charged up front, the rest at their
+        # first-use state (see _emit_lazy_allocations).
+        for name, descriptor in self.sdfg.arrays.items():
+            if not descriptor.transient:
+                continue
+            if isinstance(descriptor, Scalar):
+                if name in self._interface:
+                    continue  # already bound from its in/out cell above
+                ctype = DTYPES[descriptor.dtype].c_type
+                zero = "0.0" if _is_float_type(ctype) else "0"
+                writer.emit(f"{ctype} {name} = {zero};")
+                self._declared.add(name)
+            elif isinstance(descriptor, Stream):
+                raise NativeCodegenError(
+                    f"Stream container {name!r} is not supported by the native backend"
+                )
+            else:
+                count_now = descriptor.lifetime == LIFETIME_PERSISTENT
+                if name not in self._interface:
+                    ctype = DTYPES[descriptor.dtype].c_type
+                    total = c_symbolic(descriptor.total_size())
+                    writer.emit(
+                        f"{ctype} *{name} = "
+                        f"({ctype} *)malloc(sizeof({ctype}) * (size_t)(int64_t)({total}));"
+                    )
+                    self._declared.add(name)
+                    self._heap.append(name)
+                if self.count_allocations and count_now:
+                    writer.emit("_alloc_count += 1;")
+                if count_now:
+                    self._allocated_persistent.add(name)
+
+    def _emit_epilogue(self) -> None:
+        writer = self.writer
+        for name in self._heap:
+            writer.emit(f"free({name});")
+        for name in self._interface:
+            if isinstance(self.sdfg.arrays[name], Scalar):
+                writer.emit(f"*_io_{name} = {name};")
+        writer.emit("*_alloc_out = _alloc_count;")
+
+    # -- control flow ----------------------------------------------------------------------
+    def _emit_sequence(self, node: SequenceNode) -> None:
+        for child in node.children:
+            self._emit_cf(child)
+
+    def _emit_cf(self, node: ControlFlowNode) -> None:
+        writer = self.writer
+        if isinstance(node, StateNode):
+            self._emit_state(node.state)
+            self._emit_assignments(node.assignments)
+        elif isinstance(node, SequenceNode):
+            self._emit_sequence(node)
+        elif isinstance(node, LoopNode):
+            if node.guard.is_empty():
+                with writer.brace(f"while ({c_symbolic(node.condition)})"):
+                    self._emit_sequence(node.body)
+            else:
+                with writer.brace("while (1)"):
+                    self._emit_state(node.guard)
+                    with writer.brace(f"if (!({c_symbolic(node.condition)}))"):
+                        writer.emit("break;")
+                    self._emit_sequence(node.body)
+            self._emit_assignments(node.exit_assignments)
+        elif isinstance(node, BranchNode):
+            with writer.brace(f"if ({c_symbolic(node.condition)})"):
+                self._emit_assignments(node.then_assignments)
+                self._emit_sequence(node.then_body)
+            if node.else_body.children or node.else_assignments:
+                with writer.brace("else"):
+                    self._emit_assignments(node.else_assignments)
+                    self._emit_sequence(node.else_body)
+        elif isinstance(node, DispatchNode):
+            self._emit_dispatch(node)
+        else:  # pragma: no cover - defensive
+            raise NativeCodegenError(f"Unknown control-flow node {node!r}")
+
+    def _emit_assignments(self, assignments: Dict[str, Expr]) -> None:
+        for name, value in assignments.items():
+            if name not in self._declared:
+                raise NativeCodegenError(f"Assignment to undeclared symbol {name!r}")
+            self.writer.emit(f"{name} = {c_symbolic(value)};")
+
+    def _emit_dispatch(self, node: DispatchNode) -> None:
+        """Integer state machine for unstructured control-flow regions."""
+        writer = self.writer
+        index = {state: position for position, state in enumerate(node.states)}
+        register = f"_disp{self._dispatch_counter}"
+        self._dispatch_counter += 1
+        writer.emit(f"int64_t {register} = {index[node.entry]};")
+        with writer.brace(f"while ({register} >= 0)"):
+            for position, state in enumerate(node.states):
+                keyword = "if" if position == 0 else "else if"
+                with writer.brace(f"{keyword} ({register} == {position})"):
+                    self._emit_state(state)
+                    out_edges = self.sdfg.out_edges(state)
+                    if not out_edges:
+                        writer.emit(f"{register} = -1;")
+                        continue
+                    branch_first = True
+                    unconditional_emitted = False
+                    for edge in out_edges:
+                        if edge.data.is_unconditional:
+                            header = "if (1)" if branch_first else "else"
+                            unconditional_emitted = True
+                        else:
+                            keyword2 = "if" if branch_first else "else if"
+                            header = f"{keyword2} ({c_symbolic(edge.data.condition)})"
+                        with writer.brace(header):
+                            self._emit_assignments(edge.data.assignments)
+                            writer.emit(f"{register} = {index[edge.dst]};")
+                        branch_first = False
+                    if not unconditional_emitted:
+                        with writer.brace("else"):
+                            writer.emit(f"{register} = -1;")
+            with writer.brace("else"):
+                writer.emit(f"{register} = -1;")
+
+    # -- state dataflow ------------------------------------------------------------------------
+    def _emit_state(self, state: SDFGState) -> None:
+        if state.is_empty():
+            return
+        self._emit_lazy_allocations(state)
+        scope = state.scope_dict()
+        value_names: Dict[Tuple[int, Optional[str]], str] = {}
+        for node in state.topological_nodes():
+            if scope.get(node) is not None:
+                continue  # emitted as part of its map scope
+            self._emit_node(state, node, scope, value_names)
+
+    def _emit_lazy_allocations(self, state: SDFGState) -> None:
+        # Mirrors SDFGPythonGenerator._emit_lazy_allocations exactly, so
+        # both backends charge allocations at the same program points.
+        if not self.count_allocations:
+            return
+        for name in sorted(state.read_set() | state.write_set()):
+            descriptor = self.sdfg.arrays.get(name)
+            if (
+                isinstance(descriptor, Array)
+                and descriptor.transient
+                and descriptor.lifetime != LIFETIME_PERSISTENT
+                and name not in self._allocated_persistent
+            ):
+                self._allocated_persistent.add(name)
+                self.writer.emit(f"_alloc_count += 1;  /* allocation of {name} on this path */")
+
+    def _emit_node(self, state, node, scope, value_names) -> None:
+        if isinstance(node, Tasklet):
+            self._emit_tasklet(state, node, value_names)
+        elif isinstance(node, MapEntry):
+            self._emit_map(state, node, scope, value_names)
+        elif isinstance(node, AccessNode):
+            self._emit_access_copies(state, node)
+        elif isinstance(node, MapExit) or is_scope_exit(node):
+            return
+        elif is_scope_entry(node):
+            return
+
+    # -- access-node copies -----------------------------------------------------------------
+    def _emit_access_copies(self, state, node: AccessNode) -> None:
+        writer = self.writer
+        for edge in state.in_edges(node):
+            if not isinstance(edge.src, AccessNode) or edge.data.is_empty:
+                continue
+            source, destination = edge.src.data, node.data
+            src_descriptor = self.sdfg.arrays[source]
+            dst_descriptor = self.sdfg.arrays[destination]
+            if isinstance(dst_descriptor, Scalar) and isinstance(src_descriptor, Scalar):
+                writer.emit(f"{destination} = {source};")
+            elif isinstance(dst_descriptor, Scalar):
+                subset = edge.data.subset
+                index = self._flat_index(src_descriptor, subset.indices()) if subset is not None else "[0]"
+                writer.emit(f"{destination} = {source}{index};")
+            elif isinstance(src_descriptor, Scalar):
+                subset = edge.data.subset
+                if subset is not None and subset.is_point():
+                    index = self._flat_index(dst_descriptor, subset.indices())
+                    writer.emit(f"{destination}{index} = {source};")
+                else:
+                    self._emit_fill(destination, dst_descriptor, "=", source)
+            else:
+                self._emit_array_copy(destination, dst_descriptor, source, src_descriptor)
+
+    def _emit_array_copy(self, destination, dst_descriptor, source, src_descriptor) -> None:
+        if [str(d) for d in dst_descriptor.shape] != [str(d) for d in src_descriptor.shape]:
+            raise NativeCodegenError(
+                f"Array copy {source} -> {destination} with mismatched shapes"
+            )
+        ctype = DTYPES[dst_descriptor.dtype].c_type
+        counter = f"_copy{self._bound_counter}"
+        self._bound_counter += 1
+        total = c_symbolic(dst_descriptor.total_size())
+        header = (
+            f"for (int64_t {counter} = 0; {counter} < (int64_t)({total}); {counter}++)"
+        )
+        with self.writer.brace(header):
+            self.writer.emit(f"{destination}[{counter}] = ({ctype}){source}[{counter}];")
+
+    def _emit_fill(self, name, descriptor, operator, value_expr) -> None:
+        counter = f"_fill{self._bound_counter}"
+        self._bound_counter += 1
+        total = c_symbolic(descriptor.total_size())
+        header = (
+            f"for (int64_t {counter} = 0; {counter} < (int64_t)({total}); {counter}++)"
+        )
+        with self.writer.brace(header):
+            self.writer.emit(f"{name}[{counter}] {operator} {value_expr};")
+
+    # -- tasklets -------------------------------------------------------------------------------
+    def _emit_tasklet(self, state, tasklet: Tasklet, value_names) -> None:
+        if tasklet.language == "mlir":
+            raise NativeCodegenError(
+                f"Tasklet {tasklet.label!r} was kept in MLIR form and cannot be "
+                "lowered by the native backend"
+            )
+        writer = self.writer
+        prefix = f"_t{self._tasklet_counter}_"
+        self._tasklet_counter += 1
+        rename: Dict[str, Optional[str]] = {}
+        types: Dict[str, str] = {}
+        for edge in state.in_edges(tasklet):
+            connector = edge.dst_conn
+            if connector is None:
+                continue
+            read = self._read_expression(state, edge, value_names)
+            if read is None:
+                rename[connector] = None  # Python binds None; unusable in C
+                continue
+            text, ctype = read
+            mangled = prefix + connector
+            rename[connector] = mangled
+            types[mangled] = ctype
+            writer.emit(f"{ctype} {mangled} = {text};")
+        _TaskletTranslator(self, prefix, rename, types).translate(tasklet.code)
+        for edge in state.out_edges(tasklet):
+            connector = edge.src_conn
+            if connector is None:
+                continue
+            mangled = rename.get(connector)
+            if mangled is None:
+                raise NativeCodegenError(
+                    f"Tasklet {tasklet.label!r} never assigns out connector {connector!r}"
+                )
+            if isinstance(edge.dst, (AccessNode, MapExit)):
+                self._emit_write(edge, mangled)
+            else:
+                temp = f"_val{self._value_counter}"
+                self._value_counter += 1
+                ctype = types[mangled]
+                writer.emit(f"{ctype} {temp} = {mangled};")
+                value_names[(id(tasklet), connector)] = temp
+                self._value_types[temp] = ctype
+
+    def _read_expression(self, state, edge, value_names) -> Optional[Tuple[str, str]]:
+        source = edge.src
+        memlet: Memlet = edge.data
+        if isinstance(source, AccessNode):
+            return self._memlet_read(source.data, memlet)
+        if isinstance(source, MapEntry):
+            if memlet.is_empty:
+                return None
+            return self._memlet_read(memlet.data, memlet)
+        key = (id(source), edge.src_conn)
+        if key in value_names:
+            temp = value_names[key]
+            return temp, self._value_types[temp]
+        if memlet.is_empty:
+            return None
+        return self._memlet_read(memlet.data, memlet)
+
+    def _memlet_read(self, data: str, memlet: Memlet) -> Tuple[str, str]:
+        descriptor = self.sdfg.arrays[data]
+        ctype = DTYPES[descriptor.dtype].c_type
+        if isinstance(descriptor, Scalar):
+            return data, ctype
+        if memlet.is_empty or memlet.subset is None or memlet.dynamic:
+            raise NativeCodegenError(
+                f"Whole-array connector binding of {data!r} (dynamic or unsubscripted "
+                "memlet) is not expressible in scalar C"
+            )
+        if memlet.subset.is_point():
+            return f"{data}{self._flat_index(descriptor, memlet.subset.indices())}", ctype
+        raise NativeCodegenError(
+            f"Non-point read of {data!r} is not expressible in scalar C"
+        )
+
+    def _emit_write(self, edge, value_expr: str) -> None:
+        memlet: Memlet = edge.data
+        destination_node = edge.dst
+        data = memlet.data if not memlet.is_empty else (
+            destination_node.data if isinstance(destination_node, AccessNode) else None
+        )
+        if data is None:
+            return
+        descriptor = self.sdfg.arrays[data]
+        writer = self.writer
+        if isinstance(descriptor, Scalar):
+            self._emit_update(data, descriptor, memlet.wcr, value_expr)
+            return
+        if memlet.dynamic and memlet.subset is None:
+            return  # in-place mutation already performed through the input view
+        if memlet.subset is None:
+            operator = {"+": "+=", "*": "*="}.get(memlet.wcr, "=")
+            if memlet.wcr in ("min", "max"):
+                raise NativeCodegenError(f"Broadcast {memlet.wcr}-WCR write to {data!r}")
+            self._emit_fill(data, descriptor, operator, value_expr)
+            return
+        if memlet.subset.is_point():
+            target = f"{data}{self._flat_index(descriptor, memlet.subset.indices())}"
+            self._emit_update(target, descriptor, memlet.wcr, value_expr)
+            return
+        if self._covers_whole(descriptor, memlet.subset) and memlet.dynamic:
+            return
+        raise NativeCodegenError(
+            f"Strided subset write to {data!r} is not expressible in scalar C"
+        )
+
+    def _emit_update(self, target: str, descriptor, wcr: Optional[str], value_expr: str) -> None:
+        """One write-conflict-resolved update: WCR memlets accumulate in place."""
+        writer = self.writer
+        if wcr in ("min", "max"):
+            suffix = "f64" if descriptor.dtype.startswith("float") else "i64"
+            writer.emit(f"{target} = repro_{wcr}_{suffix}({target}, {value_expr});")
+        elif wcr == "+":
+            writer.emit(f"{target} += {value_expr};")
+        elif wcr == "*":
+            writer.emit(f"{target} *= {value_expr};")
+        elif wcr is None:
+            writer.emit(f"{target} = {value_expr};")
+        else:
+            raise NativeCodegenError(f"Unsupported WCR operator {wcr!r}")
+
+    # -- maps ------------------------------------------------------------------------------------
+    def _emit_map(self, state, entry: MapEntry, scope, value_names) -> None:
+        writer = self.writer
+        exit_node = state.exit_node(entry)
+        members = [
+            node
+            for node in state.topological_nodes()
+            if scope.get(node) is entry and node is not exit_node
+        ]
+        vectorized = (
+            (self.vectorize or entry.map.vectorized)
+            and vectorizable_map(state, entry, members)
+        )
+        opened = 0
+        for param, rng in zip(entry.map.params, entry.map.ranges):
+            bound = self._bound_counter
+            self._bound_counter += 1
+            writer.emit(f"const int64_t _lo{bound} = (int64_t)({c_symbolic(rng.start)});")
+            writer.emit(f"const int64_t _hi{bound} = (int64_t)({c_symbolic(rng.end)});")
+            writer.emit(f"const int64_t _st{bound} = (int64_t)({c_symbolic(rng.step)});")
+            declare = "" if param in self._declared else "int64_t "
+            if vectorized:
+                # A Vectorization(width)-tiled inner map: fixed-width,
+                # single-parameter, WCR-free — safe to ask for SIMD.
+                writer.emit("#pragma GCC ivdep")
+            writer.emit(
+                f"for ({declare}{param} = _lo{bound}; {param} < _hi{bound}; "
+                f"{param} += _st{bound}) {{"
+            )
+            writer.indent += 1
+            opened += 1
+        for node in members:
+            self._emit_scope_member(state, node, scope, value_names)
+        for _ in range(opened):
+            writer.indent -= 1
+            writer.emit("}")
+
+    def _emit_scope_member(self, state, node, scope, value_names) -> None:
+        if isinstance(node, Tasklet):
+            self._emit_tasklet(state, node, value_names)
+        elif isinstance(node, MapEntry):
+            self._emit_map(state, node, scope, value_names)
+        elif isinstance(node, AccessNode):
+            self._emit_access_copies(state, node)
+
+    # -- subset rendering ----------------------------------------------------------------------------
+    def _flat_index(self, descriptor, indices) -> str:
+        if len(indices) != len(descriptor.shape):
+            raise NativeCodegenError(
+                f"Partial index ({len(indices)} of {len(descriptor.shape)} dims) "
+                "is not expressible in scalar C"
+            )
+        strides: List[Expr] = []
+        stride: Expr = Integer(1)
+        for dim in reversed(descriptor.shape):
+            strides.append(stride)
+            stride = stride * dim
+        strides.reverse()
+        terms = []
+        for index, dim_stride in zip(indices, strides):
+            text = f"(int64_t)({c_symbolic(index)})"
+            if not (isinstance(dim_stride, Integer) and dim_stride.value == 1):
+                text += f" * (int64_t)({c_symbolic(dim_stride)})"
+            terms.append(text)
+        return "[" + " + ".join(terms) + "]"
+
+    def _covers_whole(self, descriptor, subset: Subset) -> bool:
+        if len(descriptor.shape) != subset.dims:
+            return False
+        return bool(subset.covers(Subset.full(descriptor.shape)))
+
+
+def generate_c_code(sdfg: SDFG, vectorize: bool = False) -> str:
+    """Generate a C translation unit implementing ``sdfg``.
+
+    Raises :class:`NativeCodegenError` when the SDFG uses constructs the
+    native backend cannot express — callers fall back to
+    :func:`~repro.codegen.sdfg_python.generate_code`.
+    """
+    return SDFGCGenerator(sdfg, vectorize=vectorize).generate()

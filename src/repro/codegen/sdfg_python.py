@@ -29,7 +29,7 @@ from ..sdfg import (
     Scalar,
     Tasklet,
 )
-from ..sdfg.data import Array, LIFETIME_PERSISTENT, Stream
+from ..sdfg.data import Array, DTYPES, LIFETIME_PERSISTENT, Stream
 from ..sdfg.nodes import MapEntry, MapExit, is_scope_entry, is_scope_exit
 from .control_flow import (
     BranchNode,
@@ -108,14 +108,9 @@ class _Writer:
         return "\n".join(self.lines) + "\n"
 
 
-_NUMPY_DTYPES = {
-    "float64": "np.float64",
-    "float32": "np.float32",
-    "int64": "np.int64",
-    "int32": "np.int32",
-    "int8": "np.int8",
-    "bool": "np.bool_",
-}
+# Derived from the central dtype table so the interpreted and native
+# backends can never disagree on element types (sdfg/data.py::DTYPES).
+_NUMPY_DTYPES = {name: f"np.{info.numpy_name}" for name, info in DTYPES.items()}
 
 
 class SDFGPythonGenerator:

@@ -1,0 +1,240 @@
+"""System-compiler toolchain for the native SDFG backend.
+
+The native backend splits work the same way the Python backend does: code
+*emission* (:mod:`repro.codegen.sdfg_c`) is pure and cacheable, while this
+module turns emitted C into a live callable — find a system compiler,
+build a shared object, load it through :mod:`ctypes` and wrap it behind
+the same ``run(**kwargs) -> dict`` calling convention the interpreted
+backend uses, so every consumer (timing loop, differential checks, the
+tuner) is backend-agnostic.
+
+Shared objects are cached on disk keyed by the SHA-256 of the C source
+(plus compiler identity and flags), so re-running a cached compilation is
+pure reuse: no ``cc`` process is spawned.  The ``REPRO_CC`` environment
+variable overrides compiler discovery; pointing it at a non-existent
+path simulates a machine without a compiler (the graceful-degradation
+tests do exactly that).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import json
+import os
+import re
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..perf import PERF
+from ..sdfg.data import DTYPES
+from ..symbolic import sympify
+
+#: Environment variable naming (or stubbing away) the C compiler.
+CC_ENV = "REPRO_CC"
+
+#: Environment variable overriding the shared-object cache directory.
+NATIVE_CACHE_ENV = "REPRO_NATIVE_CACHE_DIR"
+
+#: Flags used for every native build (part of the .so cache key).
+CFLAGS = ("-std=c11", "-O2", "-fPIC", "-shared")
+
+#: Marker line embedding the ABI description in generated C source.
+ABI_MARKER = "REPRO-NATIVE-ABI:"
+
+
+class ToolchainError(Exception):
+    """Raised when C source cannot be compiled or loaded natively."""
+
+
+def find_compiler() -> Optional[str]:
+    """Path of the system C compiler, or None when there is none.
+
+    ``REPRO_CC`` wins when set (even if it names a missing file — that is
+    the supported way to simulate a compiler-less machine); otherwise the
+    first of ``cc``/``gcc``/``clang`` found on PATH.
+    """
+    override = os.environ.get(CC_ENV)
+    if override:
+        path = shutil.which(override) or (override if os.access(override, os.X_OK) else None)
+        return path
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def have_compiler() -> bool:
+    """Whether a usable system C compiler is available."""
+    return find_compiler() is not None
+
+
+def native_cache_dir() -> Path:
+    """Directory holding compiled shared objects (created on demand)."""
+    override = os.environ.get(NATIVE_CACHE_ENV)
+    if override:
+        return Path(override)
+    base = os.environ.get("REPRO_CACHE_DIR")
+    if base:
+        return Path(base) / "native"
+    return Path(tempfile.gettempdir()) / f"repro-native-{os.getuid()}"
+
+
+def _source_digest(code: str, compiler: str) -> str:
+    basis = json.dumps(
+        {"code": code, "compiler": os.path.basename(compiler), "flags": CFLAGS},
+        sort_keys=True,
+    )
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()
+
+
+def compile_shared(code: str, name: str = "program") -> Path:
+    """Compile C source to a cached shared object; return its path.
+
+    Cache hits (same source, compiler and flags) spawn no compiler
+    process — the ``toolchain.so_cache_hits`` profiler counter records
+    them, ``toolchain.cc_runs`` records actual builds.
+    """
+    compiler = find_compiler()
+    if compiler is None:
+        configured = os.environ.get(CC_ENV)
+        detail = (
+            f"{CC_ENV}={configured!r} does not name an executable compiler"
+            if configured
+            else "no 'cc', 'gcc' or 'clang' found on PATH"
+        )
+        raise ToolchainError(f"No C compiler available ({detail})")
+    directory = native_cache_dir()
+    digest = _source_digest(code, compiler)
+    library = directory / f"{name}-{digest[:16]}.so"
+    if library.exists():
+        PERF.increment("toolchain.so_cache_hits")
+        return library
+    PERF.increment("toolchain.cc_runs")
+    directory.mkdir(parents=True, exist_ok=True)
+    source_path = directory / f".{library.stem}.{os.getpid()}.c"
+    scratch = directory / f".{library.name}.{os.getpid()}.tmp"
+    try:
+        source_path.write_text(code, encoding="utf-8")
+        command = [compiler, *CFLAGS, "-o", str(scratch), str(source_path), "-lm"]
+        proc = subprocess.run(command, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise ToolchainError(
+                f"C compiler failed ({' '.join(command)}):\n{proc.stderr.strip()}"
+            )
+        scratch.replace(library)  # atomic: concurrent builders see old or new
+    finally:
+        for leftover in (source_path, scratch):
+            try:
+                leftover.unlink()
+            except OSError:
+                pass
+    return library
+
+
+def parse_abi(code: str) -> Dict:
+    """Extract the embedded ABI description from generated C source."""
+    for line in code.splitlines():
+        marker = line.find(ABI_MARKER)
+        if marker >= 0:
+            text = line[marker + len(ABI_MARKER):].strip().rstrip("*/").strip()
+            try:
+                return json.loads(text)
+            except ValueError as exc:
+                raise ToolchainError(f"Malformed native ABI header: {exc}") from exc
+    raise ToolchainError("Generated C source carries no native ABI header")
+
+
+def _evaluate_shape(dims: List[str], env: Dict[str, float]) -> tuple:
+    return tuple(int(sympify(dim).evaluate(dict(env))) for dim in dims)
+
+
+@dataclass
+class CompiledNative:
+    """A natively compiled SDFG program behind the interpreted calling convention.
+
+    Like :class:`~repro.codegen.sdfg_python.CompiledSDFG`, the code string
+    is the whole artifact: :meth:`from_code` rehydrates a live callable
+    from cached C source alone, using the ABI header the code generator
+    embedded (interface containers, free symbols, constants) to rebuild
+    the ctypes marshalling layer without any IR.
+    """
+
+    code: str
+    abi: Dict
+    library: Path
+    _function: object = field(repr=False, default=None)
+
+    def __call__(self, **kwargs):
+        return self.run(**kwargs)
+
+    @classmethod
+    def from_code(cls, code: str, name: str = "program") -> "CompiledNative":
+        """Compile (or reuse the cached .so for) generated C and load it."""
+        abi = parse_abi(code)
+        safe = re.sub(r"[^A-Za-z0-9_.-]", "_", str(abi.get("name") or name))
+        library = compile_shared(code, name=safe)
+        handle = ctypes.CDLL(str(library))
+        try:
+            function = getattr(handle, abi["entry"])
+        except AttributeError as exc:
+            raise ToolchainError(
+                f"Shared object {library} exports no {abi['entry']!r} symbol"
+            ) from exc
+        function.restype = None
+        return cls(code=code, abi=abi, library=library, _function=function)
+
+    # -- the interpreted-backend calling convention -----------------------------------
+    def run(self, **kwargs) -> Dict:
+        """Execute the native program; returns the same dict shape as the
+        interpreted backend (``__allocations`` plus every interface
+        container), so results are directly comparable."""
+        abi = self.abi
+        symbol_values = {name: int(kwargs[name]) for name in abi["symbols"]}
+        env = {**abi.get("constants", {}), **symbol_values}
+        argv = []
+        arrays = []  # (name, caller object, marshalled buffer)
+        cells = []  # (name, dtype, ctypes cell)
+        for arg in abi["args"]:
+            info = DTYPES[arg["dtype"]]
+            if arg["kind"] == "array":
+                dtype = np.dtype(info.numpy_name)
+                if arg["transient"]:
+                    # Wrapper-allocated output (a transient in return_values):
+                    # the interpreted backend allocates it inside run().
+                    original = buffer = np.empty(_evaluate_shape(arg["shape"], env), dtype)
+                else:
+                    original = kwargs[arg["name"]]
+                    buffer = np.ascontiguousarray(original, dtype=dtype)
+                argv.append(ctypes.c_void_p(buffer.ctypes.data))
+                arrays.append((arg["name"], original, buffer))
+            else:
+                default = 0.0 if arg["dtype"].startswith("float") else 0
+                initial = 0 if arg["transient"] else kwargs.get(arg["name"], default)
+                cell = getattr(ctypes, info.ctypes_name)(initial)
+                argv.append(ctypes.byref(cell))
+                cells.append((arg["name"], arg["dtype"], cell))
+        argv.extend(ctypes.c_int64(symbol_values[name]) for name in abi["symbols"])
+        allocations = ctypes.c_int64(0)
+        argv.append(ctypes.byref(allocations))
+        self._function(*argv)
+        outputs: Dict = {"__allocations": int(allocations.value)}
+        for name, original, buffer in arrays:
+            if buffer is not original and isinstance(original, np.ndarray):
+                # The marshalling copy must not hide in-place mutation from
+                # the caller (the interpreted backend writes through).
+                original[...] = buffer
+                outputs[name] = original
+            else:
+                outputs[name] = buffer
+        for name, dtype, cell in cells:
+            value = cell.value
+            outputs[name] = float(value) if dtype.startswith("float") else int(value)
+        return outputs

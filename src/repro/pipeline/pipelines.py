@@ -39,7 +39,9 @@ former and cheaply redo the latter:
 
 from __future__ import annotations
 
+import gc
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -50,6 +52,7 @@ from ..codegen import (
     load_entry,
     sdfg_movement_report,
 )
+from ..codegen.sdfg_c import NativeCodegenError, generate_c_code
 from ..conversion import mlir_to_sdfg, module_function_names, require_function
 from ..errors import PipelineError
 from ..frontend import compile_c_to_mlir
@@ -66,8 +69,10 @@ from .spec import PipelineLike, PipelineSpec, pipeline_label
 #: (v2: declarative-pipeline payloads carry the spec and stage timings;
 #: v3: payloads carry the compile-time profiler counters;
 #: v4: movement snapshots carry the loop/map iteration count the cost
-#: model's iteration-overhead term scores.)
-PAYLOAD_VERSION = 4
+#: model's iteration-overhead term scores;
+#: v5: payloads carry the native (C) backend's emitted source and the
+#: fallback diagnostic, and specs carry the ``codegen.backend`` axis.)
+PAYLOAD_VERSION = 5
 
 
 @dataclass
@@ -89,6 +94,16 @@ class CompileResult:
     #: True when this result was rehydrated from the compile cache rather
     #: than produced by a fresh run of the compilation pipeline.
     cache_hit: bool = False
+    #: Execution backend of :attr:`runner`: ``"python"`` (interpreted) or
+    #: ``"native"`` (compiled C).  A requested-but-unavailable native
+    #: backend flips to ``"python"`` with :attr:`backend_diagnostic` set —
+    #: at codegen time for inexpressible SDFGs, or at first call when the
+    #: machine has no C compiler.
+    backend: str = "python"
+    #: Why the native backend was not used, when it was requested.
+    backend_diagnostic: Optional[str] = None
+    #: The emitted C translation unit (native backend only).
+    native_code: Optional[str] = field(repr=False, default=None)
     _cached_movement: Optional[MovementReport] = field(repr=False, default=None)
     _cached_eliminated: Optional[List[str]] = field(repr=False, default=None)
 
@@ -125,7 +140,9 @@ class RunResult:
     same best repetition (every repetition of a deterministic program
     computes identical outputs; recording the pair keeps them consistent
     even for programs that are not).  ``rep_seconds`` carries the
-    individual repetition timings in execution order.
+    individual repetition timings in execution order; ``warmup_seconds``
+    carries the timings of discarded warm-up repetitions (never part of
+    the best-of-N statistic).
     """
 
     pipeline: str
@@ -133,6 +150,7 @@ class RunResult:
     outputs: Dict
     allocations: int = 0
     rep_seconds: List[float] = field(default_factory=list)
+    warmup_seconds: List[float] = field(default_factory=list)
 
     @property
     def return_value(self):
@@ -160,6 +178,12 @@ class GeneratedProgram:
     spec: Optional[PipelineSpec] = None
     #: Per-stage compilation report (frontend/control/bridge/data/codegen).
     report: Optional[CompilationReport] = None
+    #: C translation unit emitted by the native backend (when requested
+    #: and expressible); the Python :attr:`code` is always emitted too —
+    #: it is the differential reference and the no-compiler fallback.
+    native_code: Optional[str] = None
+    #: Why a requested native backend fell back to Python at codegen time.
+    native_fallback: Optional[str] = None
 
     @property
     def stage_seconds(self) -> Dict[str, float]:
@@ -192,11 +216,13 @@ class GeneratedProgram:
             "spec": self.spec.to_dict() if self.spec is not None else None,
             "stage_seconds": self.stage_seconds,
             "counters": dict(self.report.counters) if self.report is not None else {},
+            "native_code": self.native_code,
+            "native_fallback": self.native_fallback,
         }
 
     def to_result(self) -> CompileResult:
         """Construct the executable artifact from this program."""
-        return CompileResult(
+        result = CompileResult(
             pipeline=self.pipeline,
             function=self.function,
             code=self.code,
@@ -208,11 +234,69 @@ class GeneratedProgram:
             spec=self.spec,
             report=self.report,
         )
+        _attach_backend(result, self.native_code, self.native_fallback)
+        return result
 
 
 def load_runner(code: str, name: str = "<generated>") -> Callable:
     """Load generated Python source into its ``run(**kwargs)`` callable."""
     return load_entry(code, entry="run", filename=name)
+
+
+class _LazyNativeRunner:
+    """Runner that compiles the emitted C on first call.
+
+    Building a :class:`CompileResult` must stay cheap and side-effect free
+    (the tuner rehydrates many candidates it will never execute, and
+    repeat-run cache reuse is asserted to spawn zero work), so the
+    toolchain — ``cc`` process, ``dlopen`` — is only touched when the
+    program is actually run.  A missing or failing compiler degrades to
+    the interpreted runner with a warning and a recorded diagnostic
+    instead of raising.
+    """
+
+    def __init__(self, result: CompileResult, native_code: str):
+        self._result = result
+        self._native_code = native_code
+        self._callable: Optional[Callable] = None
+
+    def __call__(self, **kwargs) -> Dict:
+        if self._callable is None:
+            from ..codegen.toolchain import CompiledNative, ToolchainError
+
+            try:
+                self._callable = CompiledNative.from_code(
+                    self._native_code, name=self._result.pipeline
+                ).run
+            except ToolchainError as exc:
+                warnings.warn(
+                    f"Native backend unavailable for pipeline "
+                    f"{self._result.pipeline!r} ({exc}); falling back to the "
+                    "interpreted backend",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._result.backend = "python"
+                self._result.backend_diagnostic = str(exc)
+                self._callable = load_runner(
+                    self._result.code, name=f"<{self._result.pipeline}>"
+                )
+        return self._callable(**kwargs)
+
+
+def _attach_backend(
+    result: CompileResult,
+    native_code: Optional[str],
+    native_fallback: Optional[str],
+) -> None:
+    """Wire a result's execution backend from the generated artifacts."""
+    if native_code:
+        result.backend = "native"
+        result.native_code = native_code
+        result.runner = _LazyNativeRunner(result, native_code)
+    elif native_fallback:
+        result.backend = "python"
+        result.backend_diagnostic = native_fallback
 
 
 def result_from_payload(payload: Dict) -> CompileResult:
@@ -244,7 +328,7 @@ def result_from_payload(payload: Dict) -> CompileResult:
             report.add_stage(stage, seconds)
         # Profiler counters recorded by the original (cache-filling) compile.
         report.counters = dict(payload.get("counters") or {})
-    return CompileResult(
+    result = CompileResult(
         pipeline=payload["pipeline"],
         function=payload.get("function"),
         code=payload["code"],
@@ -256,6 +340,8 @@ def result_from_payload(payload: Dict) -> CompileResult:
         _cached_movement=movement,
         _cached_eliminated=list(payload.get("eliminated_containers", [])),
     )
+    _attach_backend(result, payload.get("native_code"), payload.get("native_fallback"))
+    return result
 
 
 def available_functions(module) -> List[str]:
@@ -358,6 +444,12 @@ def generate_program(
         )
         report.add_stage("codegen", time.perf_counter() - stage_start)
         report.counters = PERF.delta_since(perf_before)
+        native_fallback = None
+        if spec.codegen.backend == "native":
+            native_fallback = (
+                "the native backend lowers SDFGs; pipeline "
+                f"{label!r} never crosses the bridge (bridge=False)"
+            )
         return GeneratedProgram(
             pipeline=label,
             function=function,
@@ -367,6 +459,7 @@ def generate_program(
             optimization_report=control_report,
             spec=spec,
             report=report,
+            native_fallback=native_fallback,
         )
 
     # Data-centric pipelines: bridge to the SDFG IR and optimize there.
@@ -377,6 +470,19 @@ def generate_program(
     report.stages.append(data_report)
     stage_start = time.perf_counter()
     code = generate_sdfg_code(sdfg, vectorize=spec.codegen.vectorize)
+    native_code = None
+    native_fallback = None
+    if spec.codegen.backend == "native":
+        # C emission is pure (no compiler involved), so it belongs to the
+        # cacheable stage; building/loading the shared object is deferred
+        # to the first run.  Python code is still emitted above — it is
+        # the differential reference and the no-compiler fallback.
+        try:
+            native_code = generate_c_code(sdfg, vectorize=spec.codegen.vectorize)
+            PERF.increment("codegen.native_programs")
+        except NativeCodegenError as exc:
+            native_fallback = str(exc)
+            PERF.increment("codegen.native_fallbacks")
     report.add_stage("codegen", time.perf_counter() - stage_start)
     report.counters = PERF.delta_since(perf_before)
     return GeneratedProgram(
@@ -389,6 +495,8 @@ def generate_program(
         optimization_report=data_report,
         spec=spec,
         report=report,
+        native_code=native_code,
+        native_fallback=native_fallback,
     )
 
 
@@ -406,30 +514,57 @@ def compile_c(
     return generate_program(source, pipeline, function=function).to_result()
 
 
-def run_compiled(result: CompileResult, repetitions: int = 1, **kwargs) -> RunResult:
+def run_compiled(
+    result: CompileResult,
+    repetitions: int = 1,
+    warmup: int = 0,
+    disable_gc: bool = False,
+    **kwargs,
+) -> RunResult:
     """Execute a compiled program, returning the best-of-N runtime.
 
     The reported ``outputs`` (and the allocation count derived from them)
     come from the same repetition as the reported ``seconds``; per-rep
     timings are returned in ``RunResult.rep_seconds``.
+
+    ``warmup`` repetitions run (and are timed into
+    ``RunResult.warmup_seconds``) before the measured ones but never
+    enter the best-of-N statistic — the first call pays one-time costs
+    (native: compile + ``dlopen``; interpreted: bytecode warm-up) that
+    are not the program's runtime.  ``disable_gc`` suspends the cyclic
+    garbage collector around the timed section so a collection pause
+    cannot land inside a measured repetition.
     """
     best = float("inf")
     outputs: Dict = {}
     rep_seconds: List[float] = []
-    for _ in range(max(1, repetitions)):
-        start = time.perf_counter()
-        current = result.run(**kwargs)
-        elapsed = time.perf_counter() - start
-        rep_seconds.append(elapsed)
-        if elapsed < best:
-            best = elapsed
-            outputs = current
+    warmup_seconds: List[float] = []
+    restore_gc = disable_gc and gc.isenabled()
+    if restore_gc:
+        gc.disable()
+    try:
+        for _ in range(max(0, warmup)):
+            start = time.perf_counter()
+            result.run(**kwargs)
+            warmup_seconds.append(time.perf_counter() - start)
+        for _ in range(max(1, repetitions)):
+            start = time.perf_counter()
+            current = result.run(**kwargs)
+            elapsed = time.perf_counter() - start
+            rep_seconds.append(elapsed)
+            if elapsed < best:
+                best = elapsed
+                outputs = current
+    finally:
+        if restore_gc:
+            gc.enable()
     return RunResult(
         pipeline=result.pipeline,
         seconds=best,
         outputs=outputs,
         allocations=int(outputs.get("__allocations", 0)),
         rep_seconds=rep_seconds,
+        warmup_seconds=warmup_seconds,
     )
 
 

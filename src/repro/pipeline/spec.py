@@ -111,17 +111,34 @@ class CodegenOptions:
     ``native_scalars`` and ``preallocate`` affect the MLIR (control-centric)
     backend; ``vectorize`` affects the SDFG (data-centric) backend.  Options
     not applicable to the selected backend are ignored.
+
+    ``backend`` selects how data-centric pipelines *execute*: ``"python"``
+    (the interpreted backend) or ``"native"`` (C emitted by
+    :mod:`repro.codegen.sdfg_c`, compiled with the system compiler and
+    timed as real machine code).  Pipelines that never cross the bridge
+    have no SDFG to lower, so ``"native"`` falls back to ``"python"``
+    with a diagnostic — as it does on machines without a C compiler.
     """
 
     native_scalars: bool = False
     preallocate: bool = False
     vectorize: bool = False
+    backend: str = "python"
+
+    def __post_init__(self):
+        if self.backend not in ("python", "native"):
+            from ..errors import PipelineError
+
+            raise PipelineError(
+                f"Unknown codegen backend {self.backend!r}; choose 'python' or 'native'"
+            )
 
     def to_dict(self) -> Dict:
         return {
             "native_scalars": bool(self.native_scalars),
             "preallocate": bool(self.preallocate),
             "vectorize": bool(self.vectorize),
+            "backend": str(self.backend),
         }
 
     @classmethod
@@ -131,6 +148,7 @@ class CodegenOptions:
             native_scalars=bool(data.get("native_scalars", False)),
             preallocate=bool(data.get("preallocate", False)),
             vectorize=bool(data.get("vectorize", False)),
+            backend=str(data.get("backend", "python")),
         )
 
 

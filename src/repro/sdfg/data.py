@@ -9,6 +9,7 @@ pre-allocation).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -24,23 +25,43 @@ STORAGE_REGISTER = "register"
 LIFETIME_SCOPE = "scope"  # allocated where defined (possibly inside a loop)
 LIFETIME_PERSISTENT = "persistent"  # allocated once, up front
 
-_DTYPE_TO_NUMPY: Dict[str, str] = {
-    "float64": "float64",
-    "float32": "float32",
-    "int64": "int64",
-    "int32": "int32",
-    "int8": "int8",
-    "bool": "bool_",
+
+@dataclass(frozen=True)
+class DTypeInfo:
+    """Everything the backends must agree on about one element type.
+
+    One row per supported dtype: the numpy dtype name the interpreted
+    backend allocates with, the element size the cost model charges, and
+    the C/ctypes type names the native backend emits and marshals with.
+    A single table keeps the three views from silently diverging (the
+    invariant ``numpy itemsize == bytes == ctypes.sizeof`` is regression
+    tested).
+    """
+
+    name: str
+    numpy_name: str
+    bytes: int
+    c_type: str
+    ctypes_name: str
+
+
+#: The single source of truth for supported element types.
+DTYPES: Dict[str, DTypeInfo] = {
+    info.name: info
+    for info in (
+        DTypeInfo("float64", "float64", 8, "double", "c_double"),
+        DTypeInfo("float32", "float32", 4, "float", "c_float"),
+        DTypeInfo("int64", "int64", 8, "int64_t", "c_int64"),
+        DTypeInfo("int32", "int32", 4, "int32_t", "c_int32"),
+        DTypeInfo("int8", "int8", 1, "int8_t", "c_int8"),
+        DTypeInfo("bool", "bool_", 1, "uint8_t", "c_uint8"),
+    )
 }
 
-_DTYPE_BYTES: Dict[str, int] = {
-    "float64": 8,
-    "float32": 4,
-    "int64": 8,
-    "int32": 4,
-    "int8": 1,
-    "bool": 1,
-}
+# Derived views kept under the historical names for existing call sites.
+_DTYPE_TO_NUMPY: Dict[str, str] = {name: info.numpy_name for name, info in DTYPES.items()}
+
+_DTYPE_BYTES: Dict[str, int] = {name: info.bytes for name, info in DTYPES.items()}
 
 
 class Data:

@@ -45,6 +45,9 @@ class EvaluatedCandidate:
     compile_seconds: float = 0.0
     cache_hit: bool = False
     run_seconds: Optional[float] = None
+    #: Individual measured repetition timings (runtime evaluation only);
+    #: ``run_seconds`` is their minimum.  Warm-up reps are excluded.
+    rep_seconds: List[float] = field(default_factory=list)
     moved_bytes: Optional[float] = None
     allocations: Optional[float] = None
     #: Compile-time profiler counters recorded by the compile that produced
@@ -74,6 +77,7 @@ class EvaluatedCandidate:
             "compile_seconds": self.compile_seconds,
             "cache_hit": self.cache_hit,
             "run_seconds": self.run_seconds,
+            "rep_seconds": list(self.rep_seconds),
             "moved_bytes": self.moved_bytes,
             "allocations": self.allocations,
             "counters": dict(self.counters),
@@ -215,9 +219,13 @@ class RuntimeEvaluator(Evaluator):
 
     name = "runtime"
 
-    def __init__(self, repetitions: int = 3, rel_tolerance: float = 1e-6):
+    def __init__(self, repetitions: int = 3, rel_tolerance: float = 1e-6, warmup: int = 1):
         self.repetitions = max(1, int(repetitions))
         self.rel_tolerance = float(rel_tolerance)
+        # One discarded warm-up rep absorbs first-call costs (native
+        # compile + dlopen, interpreted bytecode warm-up) that would
+        # otherwise be charged to whichever candidate ran first.
+        self.warmup = max(0, int(warmup))
         self._references: Dict[str, Optional[float]] = {}
 
     def evaluate(self, source, candidates, session, function=None, base=None):
@@ -227,12 +235,20 @@ class RuntimeEvaluator(Evaluator):
             if entry.error is not None:
                 continue
             try:
-                run = run_compiled(entry.result, repetitions=self.repetitions)
+                # GC stays off during the timed reps so a collection pause
+                # cannot decide a ranking.
+                run = run_compiled(
+                    entry.result,
+                    repetitions=self.repetitions,
+                    warmup=self.warmup,
+                    disable_gc=True,
+                )
             except Exception as exc:  # a mis-ablated pipeline may only fail at runtime
                 entry.error = str(exc)
                 entry.error_type = type(exc).__name__
                 continue
             entry.run_seconds = run.seconds
+            entry.rep_seconds = list(run.rep_seconds)
             entry.allocations = float(run.allocations)
             value = run.return_value
             if reference is not None and value is not None:

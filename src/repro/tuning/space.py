@@ -264,6 +264,17 @@ class SearchSpace:
                 spec=spec.with_codegen(**{flag: value}),
                 origin=f"codegen:{flag}={value}",
             ))
+        if spec.bridge and spec.codegen.backend != "native":
+            from ..codegen.toolchain import have_compiler
+
+            # The native-backend axis is only a real candidate on machines
+            # that can build it; without a compiler it would execute the
+            # identical interpreted program under a new content address.
+            if have_compiler():
+                found.append(Candidate(
+                    spec=spec.with_codegen(backend="native"),
+                    origin="codegen:backend=native",
+                ))
         return found
 
     def __len__(self) -> int:
