@@ -1,0 +1,231 @@
+"""Python-frontend cost and correctness across the python workload suite.
+
+The Python/NumPy frontend's contract is "same IR, same pipeline stack" —
+so its benchmark has two jobs:
+
+* **differential gate**: every python-suite kernel × the six registered
+  pipelines must reproduce the plain-NumPy reference execution (and the
+  native backend must agree where a C compiler exists).  A mismatch is a
+  failure, not a data point;
+* **cost profile**: how much of each compile the frontend itself costs
+  (trace → C-AST → IR lowering vs the rest of the pipeline), plus the
+  cold-vs-warm compile-cache ratio that justifies content addressing
+  traced programs by canonical source.
+
+Results are written as ``BENCH_python_frontend.json`` next to
+``BENCH_native.json``.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_python_frontend.py [--quick]
+        [-o PATH] [--repetitions N]
+
+or through pytest (asserts the document shape and the differential gate)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_python_frontend.py -v
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import __version__, compile_c, get_pipeline, run_compiled
+from repro.codegen import have_compiler
+from repro.frontend_py import lower_python
+from repro.service import CompileCache
+from repro.workloads.python_suite import kernel_names, python_suite
+
+#: JSON schema tag of the emitted document.
+SCHEMA = "repro-python-frontend-bench/v1"
+
+#: Kernels used by ``--quick`` (CI) runs.
+QUICK_KERNELS = ("heat1d", "mish", "softmax")
+
+#: The six registered compositions of the paper's evaluation.
+PIPELINES = ("gcc", "clang", "mlir", "dace", "dcir", "dcir+vec")
+
+
+def _agrees(reference: float, value: Optional[float]) -> Optional[bool]:
+    if value is None:
+        return None
+    return abs(float(value) - float(reference)) <= 1e-12 * max(
+        1.0, abs(float(reference))
+    )
+
+
+def _time_frontend(program, repetitions: int) -> float:
+    """Best-of-N wall-clock of source → verified IR, the frontend alone."""
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        lower_python(program)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_bench_python_frontend(
+    kernels: Optional[List[str]] = None, repetitions: int = 3
+) -> Dict:
+    """Compute the frontend cost/correctness document (JSON-safe)."""
+    suite = python_suite(kernels)
+    native_available = have_compiler()
+
+    entries = []
+    for kernel, program in suite.items():
+        reference = program()  # plain-NumPy execution of the same source
+        row: Dict = {
+            "kernel": kernel,
+            "sizes": dict(program.sizes),
+            "reference": reference,
+            "frontend_seconds": _time_frontend(program, repetitions),
+            "pipelines": {},
+        }
+        for pipeline in PIPELINES:
+            spec = get_pipeline(pipeline)
+            start = time.perf_counter()
+            result = compile_c(program, spec)
+            compile_seconds = time.perf_counter() - start
+            run = run_compiled(
+                result, repetitions=repetitions, warmup=1, disable_gc=True
+            )
+            cell: Dict = {
+                "compile_seconds": compile_seconds,
+                "frontend_fraction": (
+                    row["frontend_seconds"] / compile_seconds
+                    if compile_seconds > 0 else None
+                ),
+                "interpreted_seconds": run.seconds,
+                "matches_reference": _agrees(reference, run.return_value),
+                "native_matches_reference": None,
+                "native_seconds": None,
+            }
+            if spec.bridge and native_available:
+                native_result = compile_c(
+                    program, spec.with_codegen(backend="native")
+                )
+                if native_result.backend == "native":
+                    native_run = run_compiled(
+                        native_result, repetitions=repetitions, warmup=1,
+                        disable_gc=True,
+                    )
+                    cell["native_seconds"] = native_run.seconds
+                    cell["native_matches_reference"] = _agrees(
+                        reference, native_run.return_value
+                    )
+            row["pipelines"][pipeline] = cell
+        entries.append(row)
+
+    return {
+        "schema": SCHEMA,
+        "version": __version__,
+        "repetitions": repetitions,
+        "native_available": native_available,
+        "entries": entries,
+        "cache": _cache_profile(suite),
+    }
+
+
+def _cache_profile(suite: Dict) -> Dict:
+    """Cold-vs-warm compile timing through a fresh content-addressed cache."""
+    rows = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = CompileCache(directory=tmp, use_env_directory=False)
+        for kernel, program in suite.items():
+            start = time.perf_counter()
+            cold = cache.get_or_compile(program, "dcir")
+            cold_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = cache.get_or_compile(program, "dcir")
+            warm_seconds = time.perf_counter() - start
+            rows[kernel] = {
+                "cold_seconds": cold_seconds,
+                "warm_seconds": warm_seconds,
+                "speedup": (cold_seconds / warm_seconds) if warm_seconds > 0 else None,
+                "cold_hit": cold.cache_hit,
+                "warm_hit": warm.cache_hit,
+            }
+    return rows
+
+
+def _mismatches(document: Dict) -> List[str]:
+    bad = []
+    for entry in document["entries"]:
+        for pipeline, cell in entry["pipelines"].items():
+            if cell["matches_reference"] is False:
+                bad.append(f"{entry['kernel']}/{pipeline} (interpreted)")
+            if cell["native_matches_reference"] is False:
+                bad.append(f"{entry['kernel']}/{pipeline} (native)")
+    return bad
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"restrict to {', '.join(QUICK_KERNELS)}")
+    parser.add_argument("--kernels", nargs="*", help="explicit kernel subset")
+    parser.add_argument("--repetitions", type=int, default=3,
+                        help="measured repetitions per stage (default 3)")
+    parser.add_argument("-o", "--output", default="BENCH_python_frontend.json",
+                        help="output JSON path (default BENCH_python_frontend.json)")
+    args = parser.parse_args(argv)
+    kernels = args.kernels if args.kernels else (
+        list(QUICK_KERNELS) if args.quick else None
+    )
+    document = run_bench_python_frontend(kernels, repetitions=args.repetitions)
+    path = Path(args.output)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+    cells = [
+        cell for entry in document["entries"]
+        for cell in entry["pipelines"].values()
+    ]
+    native = [cell for cell in cells if cell["native_seconds"] is not None]
+    mismatched = _mismatches(document)
+    print(f"wrote {path} ({len(document['entries'])} kernels, "
+          f"{len(cells)} interpreted + {len(native)} native measurements)")
+    if mismatched:
+        print("ERROR: differential gate failed for: " + ", ".join(mismatched),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+# -- pytest entry points -----------------------------------------------------------------
+
+
+def test_document_shape_and_differential_gate():
+    document = run_bench_python_frontend(list(QUICK_KERNELS), repetitions=1)
+    assert document["schema"] == SCHEMA
+    assert document["version"] == __version__
+    assert _mismatches(document) == []
+    for entry in document["entries"]:
+        assert set(entry["pipelines"]) == set(PIPELINES)
+        assert entry["frontend_seconds"] > 0
+        for cell in entry["pipelines"].values():
+            assert cell["matches_reference"] is True
+
+
+def test_cache_profile_hits_on_the_second_compile():
+    document = run_bench_python_frontend(["gelu"], repetitions=1)
+    profile = document["cache"]["gelu"]
+    assert profile["cold_hit"] is False
+    assert profile["warm_hit"] is True
+
+
+def test_quick_kernels_are_registered():
+    for kernel in QUICK_KERNELS:
+        assert kernel in kernel_names()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

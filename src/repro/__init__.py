@@ -13,6 +13,27 @@ Quick start::
     result = compile_c(C_SOURCE, pipeline="dcir")
     print(run_compiled(result).return_value)
 
+Or start from NumPy-style Python instead of C — the second frontend
+lowers into the same IR, so every pipeline, the cache, the tuner and the
+native backend apply unchanged::
+
+    import numpy as np
+    from repro import program, compile_and_run
+
+    @program
+    def heat(N=48, T=6):
+        u = np.zeros(N)
+        for i in range(N):
+            u[i] = ((i * 5) % 13) * 0.2 - 1.0
+        for t in range(T):
+            u[1:-1] = u[1:-1] + 0.1 * (u[:-2] - 2.0 * u[1:-1] + u[2:])
+        s = 0.0
+        for i in range(N):
+            s += u[i]
+        return s
+
+    assert abs(compile_and_run(heat, "dcir").return_value - heat()) < 1e-12
+
 Define your own pipeline
 ------------------------
 
@@ -110,8 +131,10 @@ from .codegen import (
     generate_c_code,
     have_compiler,
 )
+from .errors import FrontendError
+from .frontend_py import PythonProgram, lower_python, program
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from .service import (  # noqa: E402  (needs __version__ for cache keys)
     CompileCache,
@@ -133,12 +156,14 @@ __all__ = [
     "CompileCache",
     "CompileResult",
     "CompiledNative",
+    "FrontendError",
     "GeneratedProgram",
     "NativeCodegenError",
     "PIPELINES",
     "PassSpec",
     "PipelineError",
     "PipelineSpec",
+    "PythonProgram",
     "RunResult",
     "SearchSpace",
     "Session",
@@ -154,6 +179,8 @@ __all__ = [
     "have_compiler",
     "get_pipeline",
     "list_pipelines",
+    "lower_python",
+    "program",
     "register_pipeline",
     "register_winner",
     "run_compiled",

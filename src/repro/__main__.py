@@ -4,12 +4,17 @@ Mirrors the library's pipeline API:
 
 * ``list-pipelines`` — registered pipeline names (``-v`` adds the spec
   summary: pass counts, bridge, codegen flags);
+* ``list-workloads`` — registered workload suites (polybench,
+  casestudies, mish, python) and their kernels;
 * ``show-pipeline NAME`` — a registered spec as JSON (edit the output and
   feed it back via ``--spec`` to build ablations without writing Python);
 * ``compile`` — compile a C file or a named PolyBench kernel through a
   registered pipeline or a spec JSON file, printing the generated code or
   per-stage statistics (``--verbose`` adds per-pass records including the
-  pattern engine's match/application counts);
+  pattern engine's match/application counts); ``--frontend python``
+  switches the input language to NumPy-style Python (a script file or a
+  ``--kernel`` from the python suite) — same flag on ``run``,
+  ``transforms match`` and ``tune``;
 * ``run`` — compile and execute, printing the return value and timings;
 * ``transforms list`` — registered data-centric passes; pattern-based
   transformations show their drain policy and tunable parameter axes;
@@ -69,17 +74,85 @@ def _parse_sizes(items: Optional[List[str]]) -> Dict[str, int]:
     return sizes
 
 
-def _load_source(args) -> str:
+def _load_python_file(path: str, function: Optional[str], sizes: Dict[str, int]):
+    """Collect the Python-frontend program(s) defined by a script file.
+
+    The file is executed with ``np``/``math``/``program`` pre-bound;
+    ``@repro.program``-decorated definitions are collected directly, and
+    plain top-level functions are coerced (their int defaults become size
+    bindings).  ``--function`` picks one when the file defines several.
+    """
+    import math
+    import types
+
+    import numpy as np
+
+    from .frontend_py import PythonProgram, as_program, program as program_decorator
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise SystemExit(f"Cannot read {path!r}: {exc}")
+    namespace: Dict[str, object] = {
+        "np": np, "numpy": np, "math": math, "program": program_decorator,
+        "__file__": path, "__name__": "__repro_program__",
+    }
+    try:
+        exec(compile(text, path, "exec"), namespace)
+    except PipelineError:
+        raise
+    except Exception as exc:
+        raise SystemExit(f"Error executing {path!r}: {exc}")
+    programs: Dict[str, PythonProgram] = {}
+    for key, value in namespace.items():
+        if isinstance(value, PythonProgram):
+            programs[value.name] = value
+        elif (isinstance(value, types.FunctionType)
+              and value.__module__ == "__repro_program__"):
+            programs.setdefault(key, as_program(value))
+    if not programs:
+        raise SystemExit(f"{path!r} defines no Python-frontend programs")
+    if function is not None:
+        if function not in programs:
+            raise SystemExit(
+                f"{path!r} defines no program named {function!r} "
+                f"(found: {', '.join(sorted(programs))})"
+            )
+        selected = programs[function]
+    elif len(programs) == 1:
+        selected = next(iter(programs.values()))
+    else:
+        raise SystemExit(
+            f"{path!r} defines {len(programs)} programs "
+            f"({', '.join(sorted(programs))}); pick one with --function"
+        )
+    return selected.bind(sizes) if sizes else selected
+
+
+def _load_source(args):
+    frontend = getattr(args, "frontend", "c")
     if args.kernel is not None and args.source is not None:
         raise SystemExit("Pass either a source file or --kernel, not both")
     if args.kernel is not None:
-        from .workloads import get_kernel
-
         # Unknown kernels raise PipelineError (with suggestions), which
         # main() renders as a clean CLI error.
+        if frontend == "python":
+            from .workloads.python_suite import get_program
+
+            return get_program(args.kernel, _parse_sizes(args.size) or None)
+        from .workloads import get_kernel
+
         return get_kernel(args.kernel, _parse_sizes(args.size) or None)
     if args.source is None:
-        raise SystemExit("Pass a C source file or --kernel NAME")
+        raise SystemExit("Pass a source file or --kernel NAME")
+    if frontend == "python":
+        if args.source == "-":
+            raise SystemExit(
+                "--frontend python needs a real file (the frontend recovers "
+                "function sources via inspect), not stdin"
+            )
+        return _load_python_file(args.source, args.function, _parse_sizes(args.size))
     if args.source == "-":
         return sys.stdin.read()
     try:
@@ -114,10 +187,23 @@ def _load_pipeline(args) -> PipelineLike:
 
 
 def _add_compile_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("source", nargs="?", help="C source file ('-' for stdin)")
-    parser.add_argument("--kernel", help="compile a named PolyBench kernel instead of a file")
     parser.add_argument(
-        "--size", nargs="*", metavar="NAME=VALUE", help="kernel size bindings (with --kernel)"
+        "source", nargs="?",
+        help="source file: C ('-' for stdin) or, with --frontend python, a "
+        "Python script defining the program",
+    )
+    parser.add_argument(
+        "--frontend", choices=("c", "python"), default="c",
+        help="input language: C (default) or NumPy-style Python "
+        "(both lower into the same control-centric IR)",
+    )
+    parser.add_argument(
+        "--kernel",
+        help="compile a named kernel instead of a file (PolyBench for the C "
+        "frontend, the python suite with --frontend python)",
+    )
+    parser.add_argument(
+        "--size", nargs="*", metavar="NAME=VALUE", help="kernel size bindings"
     )
     parser.add_argument("--pipeline", default="dcir", help="registered pipeline name")
     parser.add_argument(
@@ -144,6 +230,28 @@ def _cmd_list_pipelines(args) -> int:
             print(f"{name:<12} {shape}  {spec.description}")
         else:
             print(name)
+    return 0
+
+
+def _cmd_list_workloads(args) -> int:
+    from .workloads import get_suite, list_suites
+
+    for suite in list_suites():
+        items = get_suite(suite)
+        if args.verbose:
+            print(f"{suite} ({len(items)} kernels):")
+            for name in sorted(items):
+                source = items[name]
+                if isinstance(source, str):
+                    detail = f"C, {len(source)} bytes"
+                else:
+                    sizes = ", ".join(
+                        f"{k}={v}" for k, v in sorted(source.sizes.items())
+                    )
+                    detail = f"python, sizes {sizes}"
+                print(f"  {name:<16} {detail}")
+        else:
+            print(f"{suite:<14} {len(items):>2} kernels: {', '.join(sorted(items))}")
     return 0
 
 
@@ -329,7 +437,10 @@ def _cmd_tune(args) -> int:
 
     sizes = None
     if args.kernel is not None:
-        from .workloads import default_sizes
+        if args.frontend == "python":
+            from .workloads.python_suite import default_sizes
+        else:
+            from .workloads import default_sizes
 
         kernel = args.kernel
         sizes = default_sizes(kernel)
@@ -372,6 +483,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     list_parser.add_argument("-v", "--verbose", action="store_true", help="show spec summaries")
     list_parser.set_defaults(func=_cmd_list_pipelines)
+
+    workloads_parser = subparsers.add_parser(
+        "list-workloads", help="list registered workload suites and their kernels"
+    )
+    workloads_parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="show per-kernel detail (frontend, sizes)",
+    )
+    workloads_parser.set_defaults(func=_cmd_list_workloads)
 
     show_parser = subparsers.add_parser(
         "show-pipeline", help="print a registered pipeline spec as JSON"

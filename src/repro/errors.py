@@ -4,11 +4,36 @@
 lower layers — conversion, codegen, the compile cache — can raise it for
 user-facing misuse (unknown pipeline name, ``function=`` naming a function
 that does not exist) without importing the pipeline package and creating an
-import cycle.
+import cycle.  ``FrontendError`` is its frontend-diagnostic refinement:
+any frontend (C or Python) rejecting an input program raises it with a
+source location, so callers — the CLI, the batch compiler, tests — can
+rely on a precise "line N: what and why" message instead of a crash from
+deep inside lowering.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class PipelineError(Exception):
     """Raised for unknown pipelines, bad requests or failed compilation stages."""
+
+
+class FrontendError(PipelineError):
+    """A frontend rejected the input program.
+
+    Carries the 1-based source line of the offending construct (relative
+    to the program's own source: for a Python program, line 1 is the
+    ``def`` line) plus the source text of that line when available.  The
+    rendered message always leads with ``line N:`` so diagnostics stay
+    grep-able in CLI and batch-error output.
+    """
+
+    def __init__(self, message: str, line: Optional[int] = None,
+                 source_line: Optional[str] = None):
+        self.line = line
+        self.source_line = source_line.strip() if source_line else None
+        prefix = f"line {line}: " if line is not None else ""
+        suffix = f"\n    {self.source_line}" if self.source_line else ""
+        super().__init__(prefix + message + suffix)

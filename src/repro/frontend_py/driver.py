@@ -1,0 +1,50 @@
+"""Python frontend driver: NumPy-style function → MLIR module.
+
+Mirrors :func:`repro.frontend.compile_c_to_mlir` for the Python frontend
+(the reproduction's JaCe-style second entry point): canonicalize the
+program, translate its AST into the shared frontend C AST, and run the
+*same* lowering the C frontend uses, so both frontends emit the identical
+control-centric IR dialect surface by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..dialects.builtin import ModuleOp
+from ..frontend.lowering import LoweringError, lower_translation_unit
+from ..ir.verifier import verify
+from .program import ProgramLike, PythonProgram, as_program
+from .translate import python_to_c_ast
+
+
+def lower_python(source: ProgramLike, sizes: Optional[Mapping[str, int]] = None,
+                 run_verifier: bool = True) -> ModuleOp:
+    """Lower a NumPy-style Python function to the control-centric IR.
+
+    ``source`` may be a ``@repro.program``-decorated function, a plain
+    function (defaults become size bindings), or a :class:`PythonProgram`;
+    ``sizes`` rebinds size parameters.  The result is an MLIR module in
+    the scf/arith/math/memref dialects — indistinguishable, to every
+    downstream pass and backend, from one produced by the C frontend.
+    """
+    program = as_program(source, sizes)
+    unit = python_to_c_ast(program)
+    try:
+        module = lower_translation_unit(unit)
+    except LoweringError as exc:  # pragma: no cover - translator pre-checks
+        # The translator is supposed to reject anything lowering cannot
+        # handle; surface the residue as a frontend diagnostic anyway.
+        from ..errors import FrontendError
+
+        raise FrontendError(
+            f"Internal lowering failure for {program.name!r}: {exc}"
+        ) from exc
+    if run_verifier:
+        verify(module)
+    return module
+
+
+def compile_python_to_mlir(program: PythonProgram, run_verifier: bool = True) -> ModuleOp:
+    """Pipeline-facing twin of :func:`compile_c_to_mlir` for bound programs."""
+    return lower_python(program, run_verifier=run_verifier)

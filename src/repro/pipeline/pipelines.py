@@ -43,7 +43,7 @@ import gc
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from ..codegen import (
     MovementReport,
@@ -56,6 +56,7 @@ from ..codegen.sdfg_c import NativeCodegenError, generate_c_code
 from ..conversion import mlir_to_sdfg, module_function_names, require_function
 from ..errors import PipelineError
 from ..frontend import compile_c_to_mlir
+from ..frontend_py import ProgramLike, as_program, compile_python_to_mlir
 from ..passbase import CompilationReport, PassRunner, StageReport
 from ..passes import CONTROL_PASSES
 from ..perf import PERF
@@ -63,6 +64,11 @@ from ..sdfg import SDFG
 from ..transforms import DATA_PASSES
 from .registry import PIPELINES, resolve_pipeline
 from .spec import PipelineLike, PipelineSpec, pipeline_label
+
+#: What the compilation entry points accept as a program: C source text
+#: or a Python-frontend program (decorated/plain function or
+#: :class:`~repro.frontend_py.PythonProgram`).
+SourceLike = Union[str, ProgramLike]
 
 #: Version tag of the serialized program payload; bump when the payload
 #: layout or the semantics of generated code change incompatibly.
@@ -349,6 +355,21 @@ def available_functions(module) -> List[str]:
     return module_function_names(module)
 
 
+def compile_frontend(source, spec: PipelineSpec):
+    """Frontend dispatch: C source text or a Python program → MLIR module.
+
+    Every pipeline entry point funnels through here, so both frontends
+    share the stack below this call — that is the frontend-agnosticism
+    the paper's bridge claims, made structural.  Strings are C sources;
+    :class:`~repro.frontend_py.PythonProgram` instances (or anything
+    callable, coerced via :func:`~repro.frontend_py.as_program`) take the
+    Python frontend.
+    """
+    if isinstance(source, str):
+        return compile_c_to_mlir(source, **spec.frontend_options)
+    return compile_python_to_mlir(as_program(source), **spec.frontend_options)
+
+
 def _build_control_runner(spec: PipelineSpec) -> PassRunner:
     return PassRunner(
         [CONTROL_PASSES.build(p.name, p.params) for p in spec.control_passes],
@@ -366,7 +387,7 @@ def _build_data_runner(spec: PipelineSpec) -> PassRunner:
 
 
 def generate_sdfg(
-    source: str,
+    source: SourceLike,
     pipeline: PipelineLike = "dcir",
     function: Optional[str] = None,
     stop_before: Optional[str] = None,
@@ -396,7 +417,7 @@ def generate_sdfg(
         spec = spec.with_passes("data", data_passes,
                                 name=spec.name, description=spec.description)
 
-    module = compile_c_to_mlir(source, **spec.frontend_options)
+    module = compile_frontend(source, spec)
     require_function(module, function)
     if spec.control_passes:
         _build_control_runner(spec).run(module)
@@ -407,11 +428,13 @@ def generate_sdfg(
 
 
 def generate_program(
-    source: str, pipeline: PipelineLike = "dcir", function: Optional[str] = None
+    source: SourceLike, pipeline: PipelineLike = "dcir", function: Optional[str] = None
 ) -> GeneratedProgram:
     """Run the pure compilation stages for one pipeline.
 
-    ``pipeline`` is a registered name or a :class:`PipelineSpec`.  Frontend →
+    ``source`` is C text or a Python-frontend program (see
+    :func:`compile_frontend`); ``pipeline`` is a registered name or a
+    :class:`PipelineSpec`.  Frontend →
     control-centric passes → (SDFG bridge → data-centric passes →) code
     generation, producing a :class:`GeneratedProgram`.  This performs no
     ``exec`` and builds no callables, so the service layer can run it in a
@@ -425,7 +448,7 @@ def generate_program(
 
     stage_start = time.perf_counter()
     PERF.increment("frontend.runs")
-    module = compile_c_to_mlir(source, **spec.frontend_options)
+    module = compile_frontend(source, spec)
     require_function(module, function)
     report.add_stage("frontend", time.perf_counter() - stage_start)
 
@@ -501,9 +524,13 @@ def generate_program(
 
 
 def compile_c(
-    source: str, pipeline: PipelineLike = "dcir", function: Optional[str] = None
+    source: SourceLike, pipeline: PipelineLike = "dcir", function: Optional[str] = None
 ) -> CompileResult:
-    """Compile C source through the requested pipeline (name or spec).
+    """Compile a program through the requested pipeline (name or spec).
+
+    Despite the historical name, ``source`` may be C text *or* a
+    Python-frontend program — the frontends share everything below
+    :func:`compile_frontend`.
 
     This is the main public entry point of the library: it reproduces the
     paper's Fig. 4 conversion pipeline for ``dcir`` and the baseline paths
@@ -569,7 +596,7 @@ def run_compiled(
 
 
 def compile_and_run(
-    source: str, pipeline: PipelineLike = "dcir", repetitions: int = 1,
+    source: SourceLike, pipeline: PipelineLike = "dcir", repetitions: int = 1,
     function: Optional[str] = None, **kwargs,
 ) -> RunResult:
     """Convenience wrapper: compile then run."""

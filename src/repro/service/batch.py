@@ -35,6 +35,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..errors import PipelineError
+from ..frontend_py import PythonProgram
 from ..perf import PERF
 from ..pipeline import CompileResult, generate_program, resolve_pipeline, result_from_payload
 from ..pipeline.spec import PipelineLike, pipeline_label
@@ -49,7 +50,9 @@ class CompileRequest:
     :class:`~repro.pipeline.PipelineSpec`.
     """
 
-    source: str
+    #: C source text or a Python-frontend program (both are picklable and
+    #: content-addressable; see :func:`repro.service.cache.normalize_source`).
+    source: object
     pipeline: PipelineLike = "dcir"
     function: Optional[str] = None
     name: Optional[str] = None  # display label; defaults to the pipeline name
@@ -79,15 +82,17 @@ class BatchOutcome:
         return bool(self.result is not None and self.result.cache_hit)
 
 
-RequestLike = Union[CompileRequest, Tuple, Dict, str]
+RequestLike = Union[CompileRequest, Tuple, Dict, str, "PythonProgram"]
 
 
 def as_request(item: RequestLike) -> CompileRequest:
-    """Coerce tuples/dicts/strings into a :class:`CompileRequest`."""
+    """Coerce tuples/dicts/strings/Python programs into a :class:`CompileRequest`."""
     if isinstance(item, CompileRequest):
         return item
     if isinstance(item, str):
         return CompileRequest(source=item)
+    if isinstance(item, PythonProgram):
+        return CompileRequest(source=item, name=item.name)
     if isinstance(item, dict):
         return CompileRequest(**item)
     if isinstance(item, tuple):
@@ -241,7 +246,7 @@ def compile_many(
 
 
 def compile_specs(
-    source: str,
+    source,
     pipelines: Iterable[PipelineLike],
     function: Optional[str] = None,
     labels: Optional[Iterable[Optional[str]]] = None,

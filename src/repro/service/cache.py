@@ -46,19 +46,31 @@ from ..pipeline.spec import PipelineLike
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 
-def normalize_source(source: str) -> str:
-    """Normalize C source for content addressing.
+def normalize_source(source) -> str:
+    """Normalize a program for content addressing.
 
-    Line endings and per-line trailing whitespace are canonicalized and
-    surrounding blank lines dropped — formatting variations that cannot
-    change the compiled program.  Anything further (comments, internal
-    whitespace) is left alone: the frontend sees exactly what we hash.
+    For C sources, line endings and per-line trailing whitespace are
+    canonicalized and surrounding blank lines dropped — formatting
+    variations that cannot change the compiled program.  Anything further
+    (comments, internal whitespace) is left alone: the frontend sees
+    exactly what we hash.
+
+    Python-frontend programs (``PythonProgram`` or plain functions) hash
+    their own canonical digest basis — dedented, decorator-stripped
+    source plus sorted size bindings (see
+    :meth:`~repro.frontend_py.PythonProgram.cache_source`) — so the same
+    function source with the same sizes addresses the same entry in every
+    process and under every ``PYTHONHASHSEED``.
     """
+    if not isinstance(source, str):
+        from ..frontend_py import as_program
+
+        return as_program(source).cache_source()
     lines = source.replace("\r\n", "\n").replace("\r", "\n").split("\n")
     return "\n".join(line.rstrip() for line in lines).strip("\n")
 
 
-def cache_key(source: str, pipeline: PipelineLike = "dcir", function: Optional[str] = None) -> str:
+def cache_key(source, pipeline: PipelineLike = "dcir", function: Optional[str] = None) -> str:
     """Content address of one compilation request.
 
     ``pipeline`` is a registered name or a
@@ -221,7 +233,7 @@ class CompileCache:
         return self._read_disk(key) is not None
 
     def contains_compile(
-        self, source: str, pipeline: PipelineLike = "dcir", function: Optional[str] = None
+        self, source, pipeline: PipelineLike = "dcir", function: Optional[str] = None
     ) -> bool:
         """Whether a compilation *request* is already cached (no compile runs).
 
@@ -234,7 +246,7 @@ class CompileCache:
 
     # -- the cached compile entry point ---------------------------------------------
     def get_or_compile(
-        self, source: str, pipeline: PipelineLike = "dcir", function: Optional[str] = None
+        self, source, pipeline: PipelineLike = "dcir", function: Optional[str] = None
     ) -> CompileResult:
         """Compile through the cache (``pipeline`` is a name or spec).
 

@@ -1,6 +1,17 @@
-"""Workloads used by the evaluation: Polybench kernels and case studies."""
+"""Workloads used by the evaluation: Polybench kernels, case studies,
+the mish operator, and the Python-frontend suite.
 
-from . import casestudies, mish, polybench
+Besides the per-module registries, this package keeps a *suite* registry
+(:func:`list_suites` / :func:`get_suite`) so benchmarks, the tuner and
+the CLI can enumerate workload sets by name instead of hard-coding
+imports.  A suite is a name → source mapping where each source is either
+C text or a :class:`~repro.frontend_py.PythonProgram` — both compile
+through every pipeline entry point.
+"""
+
+from typing import Callable, Dict, List
+
+from . import casestudies, mish, polybench, python_suite as python_suite_module
 from .casestudies import (
     bandwidth_source,
     fig2_source,
@@ -16,21 +27,74 @@ from .polybench import (
     kernel_names,
     polybench_suite,
 )
+from .python_suite import PYTHON_KERNELS, get_program, python_suite
+
+
+def _casestudies_suite() -> Dict[str, str]:
+    return {
+        "fig2": fig2_source(),
+        "milc": milc_source(),
+        "bandwidth": bandwidth_source(),
+        "syrk": syrk_source(),
+    }
+
+
+#: Suite name → zero-argument builder of a name → source mapping.
+SUITES: Dict[str, Callable[[], Dict[str, object]]] = {
+    "polybench": polybench_suite,
+    "casestudies": _casestudies_suite,
+    "mish": lambda: {"mish": mish_source()},
+    "python": python_suite,
+}
+
+
+def list_suites() -> List[str]:
+    """Names of the registered workload suites."""
+    return sorted(SUITES)
+
+
+def get_suite(name: str) -> Dict[str, object]:
+    """Instantiate a registered suite as a name → source mapping.
+
+    Values are C source strings or :class:`~repro.frontend_py.PythonProgram`
+    instances (for the ``python`` suite) — every compilation entry point
+    accepts both.  Unknown names raise
+    :class:`~repro.errors.PipelineError` with a closest-match suggestion.
+    """
+    try:
+        builder = SUITES[name]
+    except KeyError:
+        from ..errors import PipelineError
+        from ..passbase import suggest
+
+        raise PipelineError(
+            f"Unknown workload suite {name!r}; "
+            + suggest(name, list_suites(), "available suites")
+        ) from None
+    return builder()
+
 
 __all__ = [
     "EXCLUDED",
     "KERNELS",
+    "PYTHON_KERNELS",
+    "SUITES",
     "bandwidth_source",
     "casestudies",
     "default_sizes",
     "fig2_source",
     "get_kernel",
+    "get_program",
+    "get_suite",
     "kernel_names",
+    "list_suites",
     "milc_source",
     "mish",
     "mish_source",
     "polybench",
     "polybench_suite",
+    "python_suite",
+    "python_suite_module",
     "reference_checksum",
     "run_eager",
     "run_jit",

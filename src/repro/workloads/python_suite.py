@@ -1,0 +1,247 @@
+"""NumPy-style Python workloads for the second frontend.
+
+Kernels the C frontend cannot express idiomatically: sliced stencils,
+ML activation operators (mish — mirroring :mod:`repro.workloads.mish` —
+gelu, silu), softmax/layernorm-style normalization chains.  Each kernel
+is a self-contained :class:`~repro.frontend_py.PythonProgram`: it
+allocates its arrays, initializes them deterministically (same
+initialization polynomial in every pipeline), runs the computation and
+returns a floating-point checksum.  Calling the program executes it under
+plain NumPy — the differential reference every compiled backend is
+checked against.
+
+Like :mod:`repro.workloads.polybench`, the module exposes a registry
+(:data:`PYTHON_KERNELS`, :func:`get_program`, :func:`default_sizes`) and
+a suite builder (:func:`python_suite`) that plugs directly into
+:meth:`repro.service.Session.run_suite` and the batch compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..frontend_py import PythonProgram, program
+
+#: name -> PythonProgram with its default size bindings.
+PYTHON_KERNELS: Dict[str, PythonProgram] = {}
+
+
+def _register(kernel: PythonProgram) -> PythonProgram:
+    PYTHON_KERNELS[kernel.name] = kernel
+    return kernel
+
+
+# --------------------------------------------------------------------------
+# Stencils
+# --------------------------------------------------------------------------
+
+@_register
+@program
+def jacobi2d(N=16, T=4):
+    """Jacobi 2D five-point stencil (sliced form of the PolyBench kernel)."""
+    A = np.zeros((N, N))
+    for i in range(N):
+        for j in range(N):
+            A[i, j] = ((i * 7 + j * 3) % 11) * 0.125 - 0.5
+    B = np.zeros((N, N))
+    for t in range(T):
+        B[1:-1, 1:-1] = 0.2 * (A[1:-1, 1:-1] + A[1:-1, :-2] + A[1:-1, 2:]
+                               + A[:-2, 1:-1] + A[2:, 1:-1])
+        A[1:-1, 1:-1] = 0.2 * (B[1:-1, 1:-1] + B[1:-1, :-2] + B[1:-1, 2:]
+                               + B[:-2, 1:-1] + B[2:, 1:-1])
+    s = 0.0
+    for i in range(N):
+        for j in range(N):
+            s += A[i, j] * ((i + 2 * j) % 5)
+    return s
+
+
+@_register
+@program
+def heat1d(N=48, T=6):
+    """Explicit 1D heat equation, updated in place through slices."""
+    u = np.zeros(N)
+    for i in range(N):
+        u[i] = ((i * 5) % 13) * 0.2 - 1.0
+    alpha = 0.1
+    for t in range(T):
+        u[1:-1] = u[1:-1] + alpha * (u[:-2] - 2.0 * u[1:-1] + u[2:])
+    s = 0.0
+    for i in range(N):
+        s += u[i] * (1.0 + 0.01 * i)
+    return s
+
+
+@_register
+@program
+def blur3(N=18):
+    """3x3 box blur over a 2D field (separable-stencil access pattern)."""
+    src = np.zeros((N, N))
+    for i in range(N):
+        for j in range(N):
+            src[i, j] = ((3 * i + 5 * j) % 9) * 0.25
+    dst = np.zeros((N, N))
+    dst[1:-1, 1:-1] = (src[:-2, :-2] + src[:-2, 1:-1] + src[:-2, 2:]
+                       + src[1:-1, :-2] + src[1:-1, 1:-1] + src[1:-1, 2:]
+                       + src[2:, :-2] + src[2:, 1:-1] + src[2:, 2:]) / 9.0
+    s = 0.0
+    for i in range(N):
+        for j in range(N):
+            s += dst[i, j] * ((i * j) % 7)
+    return s
+
+
+# --------------------------------------------------------------------------
+# ML operators (seeded from workloads/mish.py)
+# --------------------------------------------------------------------------
+
+@_register
+@program
+def mish(N=128):
+    """Mish activation x * tanh(softplus(x)) — the paper's case study."""
+    x = np.zeros(N)
+    for i in range(N):
+        x[i] = (i % 17) * 0.25 - 2.0
+    y = x * np.tanh(np.log(1.0 + np.exp(x)))
+    s = 0.0
+    for i in range(N):
+        s += y[i] * (1.0 + 0.001 * i)
+    return s
+
+
+@_register
+@program
+def gelu(N=128):
+    """GELU (tanh approximation) elementwise activation."""
+    x = np.zeros(N)
+    for i in range(N):
+        x[i] = ((i * 3) % 23) * 0.2 - 2.2
+    inner = 0.7978845608028654 * (x + 0.044715 * x * x * x)
+    y = 0.5 * x * (1.0 + np.tanh(inner))
+    s = 0.0
+    for i in range(N):
+        s += y[i] * (1.0 + 0.002 * i)
+    return s
+
+
+@_register
+@program
+def silu(N=128):
+    """SiLU/swish activation x * sigmoid(x)."""
+    x = np.zeros(N)
+    for i in range(N):
+        x[i] = ((i * 11) % 19) * 0.3 - 2.7
+    y = x / (1.0 + np.exp(-x))
+    s = 0.0
+    for i in range(N):
+        s += y[i] * (1.0 + 0.001 * i)
+    return s
+
+
+# --------------------------------------------------------------------------
+# Normalization chains
+# --------------------------------------------------------------------------
+
+@_register
+@program
+def softmax(N=64):
+    """Numerically stabilized softmax with a weighted checksum."""
+    x = np.zeros(N)
+    for i in range(N):
+        x[i] = ((i * 7) % 29) * 0.125 - 1.5
+    m = np.max(x)
+    e = np.exp(x - m)
+    p = e / np.sum(e)
+    s = 0.0
+    for i in range(N):
+        s += p[i] * (i + 1)
+    return s
+
+
+@_register
+@program
+def layernorm(R=8, C=32):
+    """Row-wise layer normalization with affine scale/shift."""
+    x = np.zeros((R, C))
+    for i in range(R):
+        for j in range(C):
+            x[i, j] = ((i * 13 + j * 5) % 17) * 0.25 - 2.0
+    out = np.zeros((R, C))
+    for i in range(R):
+        mu = np.sum(x[i, :]) / C
+        d = x[i, :] - mu
+        var = np.sum(d * d) / C
+        inv = 1.0 / np.sqrt(var + 1.0e-5)
+        out[i, :] = d * inv * 0.9 + 0.1
+    s = 0.0
+    for i in range(R):
+        for j in range(C):
+            s += out[i, j] * ((i + j) % 3 + 1)
+    return s
+
+
+@_register
+@program
+def axpy_chain(N=160):
+    """AXPY chain ending in a dot-product reduction (BLAS-1 composition)."""
+    x = np.zeros(N)
+    y = np.zeros(N)
+    for i in range(N):
+        x[i] = ((i * 3) % 7) * 0.5 - 1.0
+        y[i] = ((i * 5) % 11) * 0.25 - 1.25
+    y = 1.5 * x + y
+    z = 0.25 * y + x
+    s = 0.0
+    for i in range(N):
+        s += z[i] * x[i]
+    return s
+
+
+# --------------------------------------------------------------------------
+# Registry helpers (mirroring workloads.polybench)
+# --------------------------------------------------------------------------
+
+def kernel_names() -> List[str]:
+    return sorted(PYTHON_KERNELS)
+
+
+def default_sizes(name: str) -> Dict[str, int]:
+    """Default problem-size bindings of a kernel (a fresh, editable dict)."""
+    return dict(get_program(name).sizes)
+
+
+def get_program(name: str, sizes: Optional[Dict[str, int]] = None) -> PythonProgram:
+    """Fetch a kernel (rebound to ``sizes`` when given).
+
+    Unknown names raise :class:`~repro.errors.PipelineError` listing the
+    available kernels and suggesting the closest match, like
+    :func:`repro.workloads.polybench.get_kernel`.
+    """
+    try:
+        kernel = PYTHON_KERNELS[name]
+    except KeyError:
+        from ..errors import PipelineError
+        from ..passbase import suggest
+
+        raise PipelineError(
+            f"Unknown python kernel {name!r}; "
+            + suggest(name, kernel_names(), "available kernels")
+        ) from None
+    return kernel.bind(sizes) if sizes else kernel
+
+
+def python_suite(
+    kernels: Optional[List[str]] = None,
+    sizes: Optional[Dict[str, Dict[str, int]]] = None,
+) -> Dict[str, PythonProgram]:
+    """Instantiate a name → program workload set for the suite runner.
+
+    Same shape as :func:`repro.workloads.polybench.polybench_suite`; the
+    values are :class:`PythonProgram` instances, which every compilation
+    entry point accepts exactly like C source strings.
+    """
+    names = list(kernels) if kernels is not None else kernel_names()
+    sizes = sizes or {}
+    return {name: get_program(name, sizes.get(name)) for name in names}

@@ -29,7 +29,14 @@ DOCUMENT = _document()
 PAIRS = sorted(DOCUMENT["digests"])
 
 
-def _source(kernel: str) -> str:
+def _source(kernel: str):
+    if kernel.startswith("py:"):
+        # Python-frontend kernels: the digest pins frontend + passes +
+        # codegen together, so a translator change shows up here too.
+        from repro.workloads.python_suite import get_program
+
+        name = kernel[len("py:"):]
+        return get_program(name, DOCUMENT["python_sizes"][name])
     if kernel == "mish":
         return mish_source(DOCUMENT["mish"])
     return get_kernel(kernel, DOCUMENT["sizes"][kernel])
