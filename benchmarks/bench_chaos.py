@@ -1,0 +1,475 @@
+"""Chaos benchmark: the compilation service under injected faults.
+
+The robustness layer (deadlines, retries, pool respawn, cache
+self-healing, graceful degradation) makes two promises that this
+benchmark turns into measured gates:
+
+1. **It costs nothing when nothing goes wrong.**  The fault-free sweep
+   compiles PolyBench kernels through the raw pipeline entry point
+   (``generate_program``) and through the hardened batch path
+   (``compile_many`` with deadlines and a retry policy armed) and fails
+   when the hardening overhead exceeds the tolerance (default 5%).
+2. **When things do go wrong, nothing crashes.**  For every fault class
+   of :mod:`repro.faults` (``cc_hang``, ``cc_crash``, ``cache_corrupt``,
+   ``worker_kill``) a deterministic, seeded fault plan is armed via the
+   ``REPRO_FAULTS`` environment and the same kernels are pushed through
+   the service.  Every outcome must be *correct or cleanly failed*: a
+   result whose value matches the fault-free reference, or a typed
+   failure carrying its taxonomy kind — an uncaught exception or a wrong
+   answer fails the gate.
+
+Results are written as ``BENCH_chaos.json`` next to the other committed
+``BENCH_*.json`` artifacts.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py [--quick] [-o PATH]
+        [--faults cc_hang ...] [--seed N] [--overhead-tolerance F]
+
+or through pytest (asserts the document shape and the zero-crash
+invariant on a quick subset)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_chaos.py -v
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+import warnings
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Optional
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import __version__, compile_c, get_pipeline, run_compiled
+from repro.codegen import have_compiler
+from repro.codegen.toolchain import NATIVE_CACHE_ENV
+from repro.faults import FAULTS_DIR_ENV, FAULTS_ENV, FAULTS_SEED_ENV, KNOWN_FAULTS, reset_plan
+from repro.perf import PERF
+from repro.pipeline import generate_program
+from repro.service import CompileCache, CompileRequest, RetryPolicy, compile_many
+from repro.service.cache import QUARANTINE_DIR
+from repro.service.resilience import BACKOFF_ENV
+from repro.workloads import get_kernel, kernel_names
+
+#: JSON schema tag of the emitted document.
+SCHEMA = "repro-bench-chaos/v1"
+
+#: Kernels used by ``--quick`` (CI) runs.
+QUICK_KERNELS = ("gemm", "atax", "jacobi-1d")
+
+#: Pipelines exercised by the overhead and batch scenarios: the baseline
+#: control-centric composition and the flagship data-centric one.
+PIPELINES = ("gcc", "dcir")
+
+#: Maximum fault-free hardening overhead (hardened / raw - 1).
+OVERHEAD_TOLERANCE = 0.05
+
+#: Taxonomy kinds acceptable as *clean* failures under injected faults.
+CLEAN_KINDS = frozenset(
+    {"timeout", "toolchain-crash", "worker-lost", "cache-corruption", "transient"}
+)
+
+
+@contextmanager
+def _env(**overrides):
+    """Temporarily set/unset environment variables, resetting the fault plan."""
+    saved = {key: os.environ.get(key) for key in overrides}
+    try:
+        for key, value in overrides.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = str(value)
+        reset_plan()
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        reset_plan()
+
+
+def _values_agree(reference, value) -> bool:
+    if reference is None and value is None:
+        return True
+    if reference is None or value is None:
+        return False
+    return abs(float(value) - float(reference)) <= 1e-9 * max(1.0, abs(float(reference)))
+
+
+def _requests(sources: Dict[str, str], timeout: Optional[float] = None) -> List[CompileRequest]:
+    return [
+        CompileRequest(source=source, pipeline=pipeline, name=f"{kernel}/{pipeline}",
+                       timeout=timeout)
+        for kernel, source in sources.items()
+        for pipeline in PIPELINES
+    ]
+
+
+def _reference_values(sources: Dict[str, str]) -> Dict[str, float]:
+    """Fault-free interpreted return value per kernel (the correctness oracle)."""
+    values = {}
+    for kernel, source in sources.items():
+        values[kernel] = run_compiled(compile_c(source, "dcir")).return_value
+    return values
+
+
+# -- gate 1: fault-free hardening overhead ----------------------------------------------
+
+
+def measure_overhead(
+    sources: Dict[str, str],
+    repetitions: int = 5,
+    tolerance: float = OVERHEAD_TOLERANCE,
+) -> Dict:
+    """Raw vs hardened compile sweep; the <tolerance overhead gate.
+
+    The raw sweep performs exactly the work the batch path has always
+    performed — pure compile stages, payload serialization, result
+    rehydration — with none of the robustness seams; the hardened sweep
+    is the full :func:`compile_many` with deadlines and a retry policy
+    armed, crossing every seam (request coercion, deadline bookkeeping,
+    retry accounting, fault-plan lookups, outcome construction).  Sweeps
+    are interleaved and the best-of-N total is kept on each side, so
+    clock drift hits both equally and the ratio isolates the seam cost.
+    """
+    from repro.pipeline import result_from_payload
+
+    requests = _requests(sources, timeout=60.0)
+    pairs = [(request.source, request.pipeline) for request in requests]
+    policy = RetryPolicy.from_env()
+
+    raw_best: Optional[float] = None
+    hardened_best: Optional[float] = None
+    before = PERF.snapshot()
+    with _env(**{FAULTS_ENV: None, FAULTS_SEED_ENV: None, FAULTS_DIR_ENV: None}):
+        for _ in range(max(1, repetitions)):
+            start = time.perf_counter()
+            for source, pipeline in pairs:
+                result_from_payload(generate_program(source, pipeline).to_payload())
+            raw = time.perf_counter() - start
+
+            start = time.perf_counter()
+            outcomes = compile_many(
+                requests, executor="serial", cache=None, retry_policy=policy
+            )
+            hardened = time.perf_counter() - start
+
+            failed = [o for o in outcomes if not o.ok]
+            if failed:
+                raise RuntimeError(
+                    f"fault-free hardened sweep failed: {failed[0].error}"
+                )
+            raw_best = raw if raw_best is None else min(raw_best, raw)
+            hardened_best = hardened if hardened_best is None else min(hardened_best, hardened)
+    delta = PERF.delta_since(before)
+
+    overhead = (hardened_best / raw_best) - 1.0 if raw_best else 0.0
+    return {
+        "kernels": sorted(sources),
+        "pipelines": list(PIPELINES),
+        "repetitions": max(1, repetitions),
+        "raw_seconds": raw_best,
+        "hardened_seconds": hardened_best,
+        "overhead_fraction": overhead,
+        "tolerance": tolerance,
+        # A fault-free sweep must never quarantine or retry anything.
+        "corrupt_evicted": delta.get("compile_cache.corrupt_evicted", 0),
+        "retries": delta.get("compile_batch.retries", 0),
+        "pass": bool(
+            overhead <= tolerance
+            and not delta.get("compile_cache.corrupt_evicted", 0)
+            and not delta.get("compile_batch.retries", 0)
+        ),
+    }
+
+
+# -- gate 2: one scenario per fault class -----------------------------------------------
+
+
+def chaos_cache_corrupt(sources: Dict[str, str], seed: int) -> Dict:
+    """Every disk write torn; every read must quarantine and self-heal."""
+    references = _reference_values(sources)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-cache-") as tmp:
+        # Phase A: armed writer — every disk entry is written torn.  The
+        # batch itself must stay green (memory entries are intact).
+        before = PERF.snapshot()
+        with _env(**{FAULTS_ENV: "cache_corrupt:1", FAULTS_SEED_ENV: seed,
+                     FAULTS_DIR_ENV: None}):
+            cache = CompileCache(directory=tmp, use_env_directory=False)
+            torn = compile_many(_requests(sources), executor="serial", cache=cache)
+        torn_ok = all(outcome.ok for outcome in torn)
+        fired = PERF.delta_since(before).get("faults.cache_corrupt.fired", 0)
+
+        # Phase B: clean reader over the torn store — every entry must be
+        # quarantined (never crash the reader) and recompiled.
+        before = PERF.snapshot()
+        with _env(**{FAULTS_ENV: None}):
+            cache = CompileCache(directory=tmp, use_env_directory=False)
+            healed = compile_many(_requests(sources), executor="serial", cache=cache)
+            delta = PERF.delta_since(before)
+            quarantined = delta.get("compile_cache.corrupt_evicted", 0)
+            quarantine_files = len(list((Path(tmp) / QUARANTINE_DIR).glob("*")))
+
+            # Phase C: the healed store serves pure disk hits.
+            cache = CompileCache(directory=tmp, use_env_directory=False)
+            warm = compile_many(_requests(sources), executor="serial", cache=cache)
+
+    healed_ok = all(outcome.ok for outcome in healed)
+    values_ok = all(
+        _values_agree(references[outcome.request.name.split("/")[0]],
+                      run_compiled(outcome.result).return_value)
+        for outcome in healed
+        if outcome.ok
+    )
+    warm_hits = sum(1 for outcome in warm if outcome.cache_hit)
+    return {
+        "entries": len(torn),
+        "writes_torn": fired,
+        "quarantined": quarantined,
+        "quarantine_files": quarantine_files,
+        "healed_hits": warm_hits,
+        "pass": bool(
+            torn_ok and healed_ok and values_ok
+            and fired == len(torn)
+            and quarantined == fired
+            and quarantine_files == fired
+            and warm_hits == len(warm)
+        ),
+    }
+
+
+def chaos_cc(sources: Dict[str, str], fault: str, seed: int) -> Dict:
+    """Native builds hang or crash; every run heals by retry or degrades cleanly."""
+    if not have_compiler():
+        return {"skipped": "no C compiler on PATH", "pass": True}
+    references = _reference_values(sources)
+    spec = get_pipeline("dcir").with_codegen(backend="native")
+    native = degraded = 0
+    wrong: List[str] = []
+    before = PERF.snapshot()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-so-") as so_dir:
+        # A fresh .so cache forces every kernel through a cold native
+        # build, so the armed compiler seam is actually crossed.
+        with _env(**{FAULTS_ENV: f"{fault}:0.5", FAULTS_SEED_ENV: seed,
+                     FAULTS_DIR_ENV: None, NATIVE_CACHE_ENV: so_dir,
+                     BACKOFF_ENV: "0.001"}):
+            for kernel, source in sources.items():
+                result = compile_c(source, spec)
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", RuntimeWarning)
+                    run = run_compiled(result)
+                if result.backend == "native":
+                    native += 1
+                else:
+                    degraded += 1
+                if not _values_agree(references[kernel], run.return_value):
+                    wrong.append(kernel)
+    delta = PERF.delta_since(before)
+    return {
+        "kernels": len(sources),
+        "fired": delta.get(f"faults.{fault}.fired", 0),
+        "native_runs": native,
+        "degraded_runs": degraded,
+        "cc_retries": delta.get("toolchain.cc_retries", 0),
+        "wrong_values": wrong,
+        "pass": not wrong and native + degraded == len(sources),
+    }
+
+
+def chaos_worker_kill(sources: Dict[str, str], seed: int) -> Dict:
+    """Pool workers SIGKILL'd mid-batch; the batch respawns or fails typed."""
+    policy = RetryPolicy.from_env(backoff_base=0.001)
+
+    # Recoverable: a cross-process budget arms exactly one kill — the
+    # batch must respawn the pool and finish every item.
+    before = PERF.snapshot()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-budget-") as budget:
+        with _env(**{FAULTS_ENV: "worker_kill:1:1", FAULTS_SEED_ENV: seed,
+                     FAULTS_DIR_ENV: budget}):
+            one_kill = compile_many(
+                _requests(sources), executor="process", max_workers=2,
+                retry_policy=policy,
+            )
+    delta = PERF.delta_since(before)
+    one_kill_ok = all(outcome.ok for outcome in one_kill)
+
+    # Unrecoverable: every worker dies, twice.  Items must come back
+    # either compiled (the parent degrades to serial) or as typed
+    # worker-lost failures — never as a crash.
+    with _env(**{FAULTS_ENV: "worker_kill:1", FAULTS_SEED_ENV: seed,
+                 FAULTS_DIR_ENV: None}):
+        hostile = compile_many(
+            _requests(sources), executor="process", max_workers=2,
+            retry_policy=policy,
+        )
+    hostile_clean = all(
+        outcome.ok or outcome.failure_kind in CLEAN_KINDS for outcome in hostile
+    )
+    return {
+        "entries": len(one_kill),
+        "workers_lost": delta.get("compile_batch.workers_lost", 0),
+        "pool_respawns": delta.get("compile_batch.pool_respawns", 0),
+        "max_attempts": max(outcome.attempts for outcome in one_kill),
+        "hostile_ok": sum(1 for outcome in hostile if outcome.ok),
+        "hostile_worker_lost": sum(
+            1 for outcome in hostile if outcome.failure_kind == "worker-lost"
+        ),
+        "pass": bool(one_kill_ok and hostile_clean),
+    }
+
+
+# -- driver -----------------------------------------------------------------------------
+
+
+def run_bench_chaos(
+    kernels: Optional[List[str]] = None,
+    faults: Optional[List[str]] = None,
+    seed: int = 0,
+    repetitions: int = 5,
+    tolerance: float = OVERHEAD_TOLERANCE,
+    overhead: bool = True,
+) -> Dict:
+    """Run the chaos sweep and return the benchmark document."""
+    names = list(kernels) if kernels is not None else list(QUICK_KERNELS)
+    sources = {name: get_kernel(name) for name in names}
+    selected = list(faults) if faults is not None else list(KNOWN_FAULTS)
+    for name in selected:
+        if name not in KNOWN_FAULTS:
+            raise ValueError(f"Unknown fault class {name!r}; known: {KNOWN_FAULTS}")
+
+    document: Dict = {
+        "schema": SCHEMA,
+        "version": __version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "seed": seed,
+        "kernels": names,
+        "overhead": None,
+        "faults": {},
+    }
+    if overhead:
+        document["overhead"] = measure_overhead(
+            sources, repetitions=repetitions, tolerance=tolerance
+        )
+    scenarios = {
+        "cache_corrupt": lambda: chaos_cache_corrupt(sources, seed),
+        "cc_hang": lambda: chaos_cc(sources, "cc_hang", seed),
+        "cc_crash": lambda: chaos_cc(sources, "cc_crash", seed),
+        "worker_kill": lambda: chaos_worker_kill(sources, seed),
+    }
+    for name in selected:
+        document["faults"][name] = scenarios[name]()
+
+    gates = [section["pass"] for section in document["faults"].values()]
+    if document["overhead"] is not None:
+        gates.append(document["overhead"]["pass"])
+    document["pass"] = all(gates)
+    return document
+
+
+def render_summary(document: Dict) -> str:
+    lines = [f"chaos benchmark ({len(document['kernels'])} kernels, seed {document['seed']})"]
+    section = document.get("overhead")
+    if section is not None:
+        lines.append(
+            f"fault-free overhead: raw {section['raw_seconds'] * 1e3:.1f}ms, "
+            f"hardened {section['hardened_seconds'] * 1e3:.1f}ms "
+            f"({section['overhead_fraction'] * 100:+.2f}% vs "
+            f"{section['tolerance'] * 100:.0f}% tolerance) "
+            f"[{'ok' if section['pass'] else 'FAIL'}]"
+        )
+    for fault, stats in document["faults"].items():
+        if "skipped" in stats:
+            lines.append(f"{fault:<14} skipped ({stats['skipped']})")
+            continue
+        detail = ", ".join(
+            f"{key}={value}" for key, value in stats.items()
+            if key not in ("pass",) and not isinstance(value, list)
+        )
+        lines.append(f"{fault:<14} {detail} [{'ok' if stats['pass'] else 'FAIL'}]")
+    lines.append("all gates pass" if document["pass"] else "GATE FAILURES above")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"restrict to {', '.join(QUICK_KERNELS)} (CI smoke mode)")
+    parser.add_argument("--kernels", nargs="*", help="explicit kernel subset")
+    parser.add_argument("--faults", nargs="*", choices=list(KNOWN_FAULTS),
+                        help="fault classes to inject (default: all)")
+    parser.add_argument("--skip-overhead", action="store_true",
+                        help="skip the fault-free overhead gate")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fault-plan RNG seed (default 0)")
+    parser.add_argument("--repetitions", type=int, default=5,
+                        help="best-of-N sweeps for the overhead gate (default 5)")
+    parser.add_argument("--overhead-tolerance", type=float, default=OVERHEAD_TOLERANCE,
+                        help=f"max fault-free overhead fraction (default {OVERHEAD_TOLERANCE})")
+    parser.add_argument("-o", "--output", default="BENCH_chaos.json",
+                        help="output JSON path (default BENCH_chaos.json)")
+    args = parser.parse_args(argv)
+
+    kernels = args.kernels if args.kernels else (
+        list(QUICK_KERNELS) if args.quick else kernel_names()
+    )
+    document = run_bench_chaos(
+        kernels=kernels,
+        faults=args.faults,
+        seed=args.seed,
+        repetitions=args.repetitions,
+        tolerance=args.overhead_tolerance,
+        overhead=not args.skip_overhead,
+    )
+    path = Path(args.output)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(render_summary(document))
+    print(f"wrote {path}")
+    return 0 if document["pass"] else 1
+
+
+# -- pytest entry points -----------------------------------------------------------------
+
+
+def test_cache_corrupt_scenario_heals_everything():
+    sources = {"atax": get_kernel("atax")}
+    stats = chaos_cache_corrupt(sources, seed=0)
+    assert stats["pass"], stats
+    assert stats["writes_torn"] == stats["quarantined"] == len(PIPELINES)
+
+
+def test_worker_kill_scenario_never_crashes():
+    sources = {name: get_kernel(name) for name in ("atax", "bicg")}
+    stats = chaos_worker_kill(sources, seed=0)
+    assert stats["pass"], stats
+
+
+def test_document_shape_quick():
+    document = run_bench_chaos(
+        kernels=["atax"], faults=["cache_corrupt"], repetitions=1
+    )
+    assert document["schema"] == SCHEMA
+    assert document["version"] == __version__
+    assert set(document["faults"]) == {"cache_corrupt"}
+    assert document["overhead"]["raw_seconds"] > 0
+    # The overhead *measurement* must exist; the <5% gate itself is only
+    # asserted by the CLI run (a loaded pytest box is too noisy a clock).
+    assert "overhead_fraction" in document["overhead"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

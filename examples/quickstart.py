@@ -67,6 +67,7 @@ def main() -> None:
     native_backend_demo()
     custom_pipeline_demo()
     service_demo()
+    chaos_demo()
     perf_demo()
     tuning_demo()
 
@@ -162,6 +163,56 @@ def service_demo() -> None:
     )
     print("\n" + report.table())
     print("pipeline disagreements:", report.disagreements() or "none")
+
+
+def chaos_demo() -> None:
+    """Fault tolerance: injected faults degrade into typed outcomes.
+
+    The service layer assumes a hostile environment — hung compilers,
+    OOM-killed workers, torn cache files — and every such failure
+    surfaces as a *typed, recorded* outcome instead of a crash.  Here a
+    deterministic fault plan (``REPRO_FAULTS``, seeded RNG) tears every
+    on-disk cache write; the clean re-read quarantines the corrupt
+    entries and transparently recompiles.  The chaos benchmark
+    (``benchmarks/bench_chaos.py``) runs PolyBench under every fault
+    class the same way and gates on zero crashes.
+    """
+    import os
+    import tempfile
+
+    from repro import failure_kind
+    from repro.faults import reset_plan
+    from repro.perf import PERF
+    from repro.service import RetryPolicy
+
+    # Bounded retries with a deterministic backoff schedule; the sleep
+    # function is injectable, so the schedule is testable without waiting.
+    policy = RetryPolicy.from_env()
+    delays = [policy.delay(attempt) for attempt in range(1, policy.max_attempts)]
+    print(f"\nretry policy: {policy.max_attempts} attempts, backoff {delays}s")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        os.environ["REPRO_FAULTS"] = "cache_corrupt:1"  # tear every disk write
+        reset_plan()
+        try:
+            CompileCache(directory=tmp).get_or_compile(SOURCE, "dcir")
+        finally:
+            del os.environ["REPRO_FAULTS"]
+            reset_plan()
+
+        before = PERF.snapshot()
+        healed = CompileCache(directory=tmp).get_or_compile(SOURCE, "dcir")
+        evicted = PERF.delta_since(before).get("compile_cache.corrupt_evicted", 0)
+        print(f"torn cache entry: quarantined {evicted} file(s), "
+              f"recompiled cleanly (cache_hit={healed.cache_hit})")
+
+    # Failures carry their taxonomy kind, so reports aggregate classes of
+    # failure ("timeout", "worker-lost", ...) instead of matching strings.
+    outcome = compile_many([("int broken( {", "gcc")])[0]
+    print(f"failure taxonomy: {outcome.error_type} -> "
+          f"kind={outcome.failure_kind!r} (transient: "
+          f"{failure_kind(outcome.error_type) not in ('permanent', 'unexpected')}, "
+          f"attempts={outcome.attempts})")
 
 
 def perf_demo() -> None:

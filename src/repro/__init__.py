@@ -131,13 +131,23 @@ from .codegen import (
     generate_c_code,
     have_compiler,
 )
-from .errors import FrontendError
+from .errors import (
+    CacheCorruption,
+    CompileTimeout,
+    FrontendError,
+    PermanentError,
+    ToolchainCrash,
+    TransientError,
+    WorkerLost,
+    failure_kind,
+)
 from .frontend_py import PythonProgram, lower_python, program
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from .service import (  # noqa: E402  (needs __version__ for cache keys)
     CompileCache,
+    RetryPolicy,
     Session,
     SuiteReport,
     compile_many,
@@ -151,26 +161,34 @@ from .tuning import (  # noqa: E402  (builds on the service layer)
 )
 
 __all__ = [
+    "CacheCorruption",
     "CodegenOptions",
     "CompilationReport",
     "CompileCache",
     "CompileResult",
+    "CompileTimeout",
     "CompiledNative",
     "FrontendError",
     "GeneratedProgram",
     "NativeCodegenError",
     "PIPELINES",
     "PassSpec",
+    "PermanentError",
     "PipelineError",
     "PipelineSpec",
     "PythonProgram",
+    "RetryPolicy",
     "RunResult",
     "SearchSpace",
     "Session",
     "SuiteReport",
+    "ToolchainCrash",
     "ToolchainError",
+    "TransientError",
     "TuningReport",
+    "WorkerLost",
     "__version__",
+    "failure_kind",
     "compile_and_run",
     "compile_c",
     "compile_many",

@@ -16,6 +16,9 @@ Mirrors the library's pipeline API:
   ``--kernel`` from the python suite) — same flag on ``run``,
   ``transforms match`` and ``tune``;
 * ``run`` — compile and execute, printing the return value and timings;
+  ``--timeout`` bounds the native toolchain build and ``--degradation
+  strict|fallback`` picks whether a failing native backend raises or
+  falls back to the interpreted runner;
 * ``transforms list`` — registered data-centric passes; pattern-based
   transformations show their drain policy and tunable parameter axes;
 * ``transforms match`` — compile a kernel up to the point a transformation
@@ -58,6 +61,7 @@ from . import (
     list_pipelines,
     run_compiled,
 )
+from .service.resilience import DEGRADATION_MODES
 from .pipeline.spec import PipelineLike
 
 
@@ -384,6 +388,8 @@ def _cmd_transforms(args) -> int:
 
 def _cmd_run(args) -> int:
     result = compile_c(_load_source(args), _load_pipeline(args), function=args.function)
+    result.degradation = args.degradation
+    result.timeout = args.timeout
     # One warm-up rep absorbs first-call costs (for the native backend
     # that includes cc + dlopen) so "run (best)" reflects steady state.
     run = run_compiled(result, repetitions=args.repetitions, warmup=1, disable_gc=True)
@@ -547,6 +553,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compile_arguments(run_parser)
     run_parser.add_argument(
         "--repetitions", type=int, default=1, help="best-of-N execution (default 1)"
+    )
+    run_parser.add_argument(
+        "--timeout", type=float,
+        help="deadline in seconds for the native toolchain build "
+        "(default: REPRO_CC_TIMEOUT or 120)",
+    )
+    run_parser.add_argument(
+        "--degradation", choices=DEGRADATION_MODES, default="fallback",
+        help="what a failing native backend does: fall back to the "
+        "interpreted runner (default) or fail with the typed error",
     )
     run_parser.set_defaults(func=_cmd_run)
 

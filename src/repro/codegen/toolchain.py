@@ -14,6 +14,18 @@ pure reuse: no ``cc`` process is spawned.  The ``REPRO_CC`` environment
 variable overrides compiler discovery; pointing it at a non-existent
 path simulates a machine without a compiler (the graceful-degradation
 tests do exactly that).
+
+Every external wait here is bounded and every failure typed: the
+compiler runs in its own process group under a deadline
+(``REPRO_CC_TIMEOUT``, default 120s; on expiry the whole group is
+SIGKILLed and :class:`~repro.errors.CompileTimeout` raised, so a hung
+``cc`` can never wedge a compile), a compiler killed by a signal raises
+:class:`~repro.errors.ToolchainCrash` (transient — the source is not at
+fault), and transient failures are retried under a
+:class:`~repro.service.resilience.RetryPolicy` with deterministic
+backoff.  A cached ``.so`` that fails to ``dlopen`` (truncated or
+garbled on disk) is quarantined and rebuilt once before
+:class:`~repro.errors.CacheCorruption` is raised.
 """
 
 from __future__ import annotations
@@ -24,6 +36,7 @@ import json
 import os
 import re
 import shutil
+import signal
 import subprocess
 import tempfile
 from dataclasses import dataclass, field
@@ -32,6 +45,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..errors import CacheCorruption, CompileTimeout, ToolchainCrash, ToolchainError
 from ..perf import PERF
 from ..sdfg.data import DTYPES
 from ..symbolic import sympify
@@ -42,15 +56,31 @@ CC_ENV = "REPRO_CC"
 #: Environment variable overriding the shared-object cache directory.
 NATIVE_CACHE_ENV = "REPRO_NATIVE_CACHE_DIR"
 
+#: Environment variable overriding the compiler-process deadline
+#: (seconds; values <= 0 disable the timeout entirely).
+CC_TIMEOUT_ENV = "REPRO_CC_TIMEOUT"
+
+#: Default compiler-process deadline.  Generous — our translation units
+#: compile in milliseconds — because its job is to bound *hangs*, not to
+#: race healthy builds.
+DEFAULT_CC_TIMEOUT = 120.0
+
 #: Flags used for every native build (part of the .so cache key).
 CFLAGS = ("-std=c11", "-O2", "-fPIC", "-shared")
 
 #: Marker line embedding the ABI description in generated C source.
 ABI_MARKER = "REPRO-NATIVE-ABI:"
 
-
-class ToolchainError(Exception):
-    """Raised when C source cannot be compiled or loaded natively."""
+def cc_timeout() -> Optional[float]:
+    """The compiler-process deadline in seconds (None: disabled)."""
+    raw = os.environ.get(CC_TIMEOUT_ENV)
+    if raw is None or raw == "":
+        return DEFAULT_CC_TIMEOUT
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_CC_TIMEOUT
+    return value if value > 0 else None
 
 
 def find_compiler() -> Optional[str]:
@@ -95,12 +125,68 @@ def _source_digest(code: str, compiler: str) -> str:
     return hashlib.sha256(basis.encode("utf-8")).hexdigest()
 
 
-def compile_shared(code: str, name: str = "program") -> Path:
+def _run_compiler(command: List[str], timeout: Optional[float]) -> None:
+    """Spawn the compiler in its own process group under a deadline.
+
+    ``subprocess.run(timeout=)`` only kills the direct child; compiler
+    drivers fork (cc → cc1 → as), so on expiry the whole process group
+    is SIGKILLed — a hung compiler can never wedge a compile, and never
+    leaks grandchildren either.
+    """
+    proc = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        start_new_session=True,  # own process group: killable as a unit
+    )
+    try:
+        _, stderr = proc.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        try:
+            os.killpg(proc.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError, OSError):
+            proc.kill()
+        proc.wait()
+        PERF.increment("toolchain.cc_timeouts")
+        raise CompileTimeout(
+            f"C compiler timed out after {timeout:g}s ({' '.join(command)})",
+            seconds=timeout,
+        )
+    if proc.returncode == 0:
+        return
+    if proc.returncode < 0:
+        # Killed by a signal (OOM, SIGSEGV in the compiler itself): says
+        # nothing about the source, so the failure is transient.
+        PERF.increment("toolchain.cc_crashes")
+        raise ToolchainCrash(
+            f"C compiler killed by signal {-proc.returncode} ({' '.join(command)})",
+            returncode=proc.returncode,
+        )
+    raise ToolchainError(
+        f"C compiler failed ({' '.join(command)}):\n{(stderr or '').strip()}"
+    )
+
+
+def compile_shared(
+    code: str,
+    name: str = "program",
+    timeout: Optional[float] = None,
+    retry: Optional["object"] = None,
+) -> Path:
     """Compile C source to a cached shared object; return its path.
 
     Cache hits (same source, compiler and flags) spawn no compiler
     process — the ``toolchain.so_cache_hits`` profiler counter records
     them, ``toolchain.cc_runs`` records actual builds.
+
+    ``timeout`` bounds the compiler process (default: ``REPRO_CC_TIMEOUT``
+    or 120s); expiry kills the compiler's whole process group and raises
+    :class:`~repro.errors.CompileTimeout`.  ``retry`` is a
+    :class:`~repro.service.resilience.RetryPolicy` applied to transient
+    failures only (timeouts, signal-killed compilers — never diagnosed
+    compile errors); the default comes from the ``REPRO_MAX_ATTEMPTS``/
+    ``REPRO_RETRY_BACKOFF`` environment knobs.
     """
     compiler = find_compiler()
     if compiler is None:
@@ -117,25 +203,40 @@ def compile_shared(code: str, name: str = "program") -> Path:
     if library.exists():
         PERF.increment("toolchain.so_cache_hits")
         return library
-    PERF.increment("toolchain.cc_runs")
-    directory.mkdir(parents=True, exist_ok=True)
-    source_path = directory / f".{library.stem}.{os.getpid()}.c"
-    scratch = directory / f".{library.name}.{os.getpid()}.tmp"
-    try:
-        source_path.write_text(code, encoding="utf-8")
-        command = [compiler, *CFLAGS, "-o", str(scratch), str(source_path), "-lm"]
-        proc = subprocess.run(command, capture_output=True, text=True)
-        if proc.returncode != 0:
-            raise ToolchainError(
-                f"C compiler failed ({' '.join(command)}):\n{proc.stderr.strip()}"
-            )
-        scratch.replace(library)  # atomic: concurrent builders see old or new
-    finally:
-        for leftover in (source_path, scratch):
-            try:
-                leftover.unlink()
-            except OSError:
-                pass
+    if timeout is None:
+        timeout = cc_timeout()
+    if retry is None:
+        # Lazy import: codegen must not import the service package at
+        # module load (service → pipeline → codegen would cycle).
+        from ..service.resilience import RetryPolicy
+
+        retry = RetryPolicy.from_env()
+
+    def build() -> None:
+        from ..faults import active_plan
+
+        plan = active_plan()
+        if plan is not None:
+            plan.cc_fault(timeout)  # injected hang/crash, at the real seam
+        PERF.increment("toolchain.cc_runs")
+        directory.mkdir(parents=True, exist_ok=True)
+        source_path = directory / f".{library.stem}.{os.getpid()}.c"
+        scratch = directory / f".{library.name}.{os.getpid()}.tmp"
+        try:
+            source_path.write_text(code, encoding="utf-8")
+            command = [compiler, *CFLAGS, "-o", str(scratch), str(source_path), "-lm"]
+            _run_compiler(command, timeout)
+            scratch.replace(library)  # atomic: concurrent builders see old or new
+        finally:
+            for leftover in (source_path, scratch):
+                try:
+                    leftover.unlink()
+                except OSError:
+                    pass
+
+    _, attempts = retry.run(build, describe=f"native build of {name}")
+    if attempts > 1:
+        PERF.increment("toolchain.cc_retries", attempts - 1)
     return library
 
 
@@ -176,12 +277,41 @@ class CompiledNative:
         return self.run(**kwargs)
 
     @classmethod
-    def from_code(cls, code: str, name: str = "program") -> "CompiledNative":
-        """Compile (or reuse the cached .so for) generated C and load it."""
+    def from_code(
+        cls,
+        code: str,
+        name: str = "program",
+        timeout: Optional[float] = None,
+        retry: Optional[object] = None,
+    ) -> "CompiledNative":
+        """Compile (or reuse the cached .so for) generated C and load it.
+
+        A cached shared object that fails to ``dlopen`` (truncated or
+        garbled by a killed writer or a bad disk) is quarantined
+        (unlinked, counted under ``toolchain.so_corrupt_evicted``) and
+        rebuilt from source once — self-healing, exactly like the
+        compile cache.  A rebuild that *still* cannot be loaded raises
+        :class:`~repro.errors.CacheCorruption`.
+        """
         abi = parse_abi(code)
         safe = re.sub(r"[^A-Za-z0-9_.-]", "_", str(abi.get("name") or name))
-        library = compile_shared(code, name=safe)
-        handle = ctypes.CDLL(str(library))
+        handle = None
+        for attempt in (1, 2):
+            library = compile_shared(code, name=safe, timeout=timeout, retry=retry)
+            try:
+                handle = ctypes.CDLL(str(library))
+                break
+            except OSError as exc:
+                PERF.increment("toolchain.so_corrupt_evicted")
+                try:
+                    library.unlink()  # quarantine: force a rebuild
+                except OSError:
+                    pass
+                if attempt == 2:
+                    raise CacheCorruption(
+                        f"Shared object {library} cannot be loaded even after a "
+                        f"rebuild from source ({exc})"
+                    ) from exc
         try:
             function = getattr(handle, abi["entry"])
         except AttributeError as exc:

@@ -9,15 +9,163 @@ any frontend (C or Python) rejecting an input program raises it with a
 source location, so callers — the CLI, the batch compiler, tests — can
 rely on a precise "line N: what and why" message instead of a crash from
 deep inside lowering.
+
+Failure taxonomy
+----------------
+
+The service layer degrades instead of dying, and to do that it needs to
+know *which* failures are worth another attempt.  Every failure is
+classified on one axis:
+
+* :class:`TransientError` — caused by the environment, not the request;
+  retrying (or re-dispatching to a fresh worker) may succeed.  Subtypes:
+  :class:`CompileTimeout` (a bounded external wait expired),
+  :class:`ToolchainCrash` (the system compiler died on a signal),
+  :class:`WorkerLost` (a pool worker was killed — OOM, SIGKILL — before
+  reporting a result) and :class:`CacheCorruption` (a stored artifact
+  failed its integrity check and could not be healed in place).
+* :class:`PermanentError` — caused by the request itself (bad source,
+  unknown pipeline, no compiler installed); retrying is pointless.
+
+:func:`failure_kind` maps an exception (or its type name, for errors that
+crossed a process boundary as strings) to a stable kind string recorded
+on ``BatchOutcome``/``SuiteEntry``, so reports say *what class of thing*
+went wrong instead of only quoting a message.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 
 class PipelineError(Exception):
     """Raised for unknown pipelines, bad requests or failed compilation stages."""
+
+
+class TransientError(PipelineError):
+    """An environment-caused failure; the same request may succeed on retry."""
+
+
+class PermanentError(PipelineError):
+    """A request-caused failure; retrying the same request cannot succeed."""
+
+
+class CompileTimeout(TransientError):
+    """A deadline expired: a hung compiler process or an overrun request.
+
+    ``seconds`` carries the budget that was exceeded (when known).
+    """
+
+    def __init__(self, message: str, seconds: Optional[float] = None):
+        self.seconds = seconds
+        super().__init__(message)
+
+
+class ToolchainCrash(TransientError):
+    """The system C compiler terminated abnormally (killed by a signal).
+
+    Distinct from a *diagnosed* compile failure (nonzero exit with
+    diagnostics, a :class:`ToolchainError` — permanent): a crash says
+    nothing about the source being compiled, so it is worth retrying.
+    """
+
+    def __init__(self, message: str, returncode: Optional[int] = None):
+        self.returncode = returncode
+        super().__init__(message)
+
+
+class WorkerLost(TransientError):
+    """A batch worker process died (SIGKILL, OOM) before returning a result."""
+
+
+class CacheCorruption(TransientError):
+    """A cached artifact failed its integrity check and could not be healed."""
+
+
+class ToolchainError(PermanentError):
+    """C source cannot be compiled or loaded natively (diagnosed failure).
+
+    Historically defined in :mod:`repro.codegen.toolchain` (which still
+    re-exports it); it lives here so the taxonomy is one closed set.
+    """
+
+
+#: Stable failure-kind strings recorded on batch/suite outcomes.
+KIND_TIMEOUT = "timeout"
+KIND_TOOLCHAIN_CRASH = "toolchain-crash"
+KIND_WORKER_LOST = "worker-lost"
+KIND_CACHE_CORRUPTION = "cache-corruption"
+KIND_PERMANENT = "permanent"
+KIND_UNEXPECTED = "unexpected"
+#: Catch-all for :class:`TransientError` subtypes outside the named four.
+KIND_TRANSIENT = "transient"
+
+#: Kinds whose failures are worth retrying.
+TRANSIENT_KINDS = frozenset(
+    {KIND_TIMEOUT, KIND_TOOLCHAIN_CRASH, KIND_WORKER_LOST,
+     KIND_CACHE_CORRUPTION, KIND_TRANSIENT}
+)
+
+_KIND_BY_TYPE_NAME = {
+    "CompileTimeout": KIND_TIMEOUT,
+    "ToolchainCrash": KIND_TOOLCHAIN_CRASH,
+    "WorkerLost": KIND_WORKER_LOST,
+    "BrokenProcessPool": KIND_WORKER_LOST,
+    "CacheCorruption": KIND_CACHE_CORRUPTION,
+}
+
+#: Type names diagnosed as *request* failures.  Includes frontend
+#: diagnostics that predate the taxonomy and do not subclass
+#: :class:`PipelineError` (``CParseError``, ``CLexerError``,
+#: ``LoweringError``) — classifying by name keeps instance and
+#: across-process (string) classification consistent.
+_PERMANENT_TYPE_NAMES = frozenset({
+    "PipelineError", "PermanentError", "FrontendError", "CParseError",
+    "CLexerError", "LoweringError", "ToolchainError", "NativeCodegenError",
+})
+
+
+def failure_kind(error: Union[BaseException, type, str, None]) -> Optional[str]:
+    """Classify an exception (instance, class or type name) into a kind string.
+
+    Errors that crossed a process boundary survive only as type-name
+    strings; classifying by name keeps the taxonomy usable on both sides.
+    Unknown :class:`PipelineError` subtypes are request failures
+    (``"permanent"``); anything outside the taxonomy is ``"unexpected"``.
+    ``None`` (no error) maps to ``None``.
+    """
+    if error is None:
+        return None
+    if isinstance(error, str):
+        kind = _KIND_BY_TYPE_NAME.get(error)
+        if kind is not None:
+            return kind
+        if error == "TransientError":
+            return KIND_TRANSIENT
+        if error in _PERMANENT_TYPE_NAMES:
+            return KIND_PERMANENT
+        return KIND_UNEXPECTED
+    cls = error if isinstance(error, type) else type(error)
+    for base in cls.__mro__:
+        kind = _KIND_BY_TYPE_NAME.get(base.__name__)
+        if kind is not None:
+            return kind
+    if issubclass(cls, TransientError):
+        return KIND_TRANSIENT
+    if issubclass(cls, PipelineError):
+        return KIND_PERMANENT
+    if any(base.__name__ in _PERMANENT_TYPE_NAMES for base in cls.__mro__):
+        return KIND_PERMANENT
+    return KIND_UNEXPECTED
+
+
+def is_transient(error: Union[BaseException, type, str, None]) -> bool:
+    """Whether a failure is worth retrying (see :func:`failure_kind`)."""
+    if isinstance(error, BaseException):
+        return isinstance(error, TransientError)
+    if isinstance(error, type):
+        return issubclass(error, TransientError)
+    return failure_kind(error) in TRANSIENT_KINDS
 
 
 class FrontendError(PipelineError):

@@ -110,6 +110,13 @@ class CompileResult:
     backend_diagnostic: Optional[str] = None
     #: The emitted C translation unit (native backend only).
     native_code: Optional[str] = field(repr=False, default=None)
+    #: How a failing native backend behaves at run time: ``"fallback"``
+    #: degrades to the interpreted runner (recording why in
+    #: :attr:`backend_diagnostic`); ``"strict"`` re-raises the typed error.
+    degradation: str = "fallback"
+    #: Deadline (seconds) threaded to the toolchain when the deferred
+    #: native build runs (None: the toolchain's own default applies).
+    timeout: Optional[float] = None
     _cached_movement: Optional[MovementReport] = field(repr=False, default=None)
     _cached_eliminated: Optional[List[str]] = field(repr=False, default=None)
 
@@ -256,9 +263,11 @@ class _LazyNativeRunner:
     (the tuner rehydrates many candidates it will never execute, and
     repeat-run cache reuse is asserted to spawn zero work), so the
     toolchain — ``cc`` process, ``dlopen`` — is only touched when the
-    program is actually run.  A missing or failing compiler degrades to
-    the interpreted runner with a warning and a recorded diagnostic
-    instead of raising.
+    program is actually run.  Under the result's default ``"fallback"``
+    degradation mode a missing, failing, hung or corrupted toolchain
+    degrades to the interpreted runner with a warning and a recorded
+    diagnostic; under ``"strict"`` the typed error propagates to the
+    caller (the diagnostic is still recorded first).
     """
 
     def __init__(self, result: CompileResult, native_code: str):
@@ -268,13 +277,20 @@ class _LazyNativeRunner:
 
     def __call__(self, **kwargs) -> Dict:
         if self._callable is None:
-            from ..codegen.toolchain import CompiledNative, ToolchainError
+            from ..codegen.toolchain import CompiledNative
+            from ..errors import PermanentError, TransientError
 
             try:
                 self._callable = CompiledNative.from_code(
-                    self._native_code, name=self._result.pipeline
+                    self._native_code,
+                    name=self._result.pipeline,
+                    timeout=self._result.timeout,
                 ).run
-            except ToolchainError as exc:
+            except (PermanentError, TransientError) as exc:
+                self._result.backend = "python"
+                self._result.backend_diagnostic = str(exc)
+                if self._result.degradation == "strict":
+                    raise
                 warnings.warn(
                     f"Native backend unavailable for pipeline "
                     f"{self._result.pipeline!r} ({exc}); falling back to the "
@@ -282,8 +298,7 @@ class _LazyNativeRunner:
                     RuntimeWarning,
                     stacklevel=2,
                 )
-                self._result.backend = "python"
-                self._result.backend_diagnostic = str(exc)
+                PERF.increment("backend.degraded_runs")
                 self._callable = load_runner(
                     self._result.code, name=f"<{self._result.pipeline}>"
                 )

@@ -15,6 +15,14 @@ over and over; this subsystem makes such sweeps cheap and scalable:
   sets with cache reuse and returns a structured :class:`SuiteReport`
   (compile/run time, cache hits, movement and allocation statistics,
   cross-pipeline agreement).
+
+The layer is hardened against a hostile environment
+(:mod:`repro.service.resilience`): per-request deadlines, bounded
+retries with deterministic backoff (:class:`RetryPolicy`), crash-isolated
+process pools that survive killed workers, a checksummed self-healing
+disk cache that quarantines corrupt entries, and ``strict``/``fallback``
+degradation modes — all exercised deterministically by the fault
+injection harness in :mod:`repro.faults`.
 """
 
 from .batch import (
@@ -27,19 +35,31 @@ from .batch import (
 )
 from .cache import (
     CACHE_DIR_ENV,
+    CACHE_FORMAT,
     CacheStats,
     CompileCache,
     cache_key,
     normalize_source,
+    payload_digest,
+)
+from .resilience import (
+    DEGRADATION_MODES,
+    Deadline,
+    RetryPolicy,
+    validate_degradation,
 )
 from .session import SUITE_SCHEMA, Session, SuiteEntry, SuiteReport
 
 __all__ = [
     "BatchOutcome",
     "CACHE_DIR_ENV",
+    "CACHE_FORMAT",
     "CacheStats",
     "CompileCache",
     "CompileRequest",
+    "DEGRADATION_MODES",
+    "Deadline",
+    "RetryPolicy",
     "SUITE_SCHEMA",
     "Session",
     "SuiteEntry",
@@ -50,4 +70,6 @@ __all__ = [
     "compile_specs",
     "default_executor",
     "normalize_source",
+    "payload_digest",
+    "validate_degradation",
 ]

@@ -23,6 +23,17 @@ Workers run only the *pure* stage (:func:`repro.pipeline.generate_program`)
 and return the serializable payload; the parent rehydrates results and
 warms its compile cache, which is also how results cross process
 boundaries without pickling live IR objects.
+
+The batch survives a hostile environment.  Per-request deadlines
+(``CompileRequest.timeout``) bound every item; transient failures (see
+the taxonomy in :mod:`repro.errors`) are retried under a
+:class:`~repro.service.resilience.RetryPolicy` with deterministic
+backoff; and a SIGKILL'd or OOM'd pool worker (``BrokenProcessPool``
+takes every in-flight future with it) triggers exactly one pool respawn
+with only the *lost* requests re-dispatched — if the fresh pool dies
+too, the survivors get typed :class:`~repro.errors.WorkerLost` outcomes
+instead of the batch crashing.  Every outcome records how many attempts
+it consumed and, on failure, its taxonomy kind.
 """
 
 from __future__ import annotations
@@ -31,15 +42,24 @@ import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from ..errors import PipelineError
+from ..errors import (
+    KIND_WORKER_LOST,
+    CompileTimeout,
+    PipelineError,
+    TransientError,
+    failure_kind,
+)
+from ..faults import active_plan, mark_pool_worker
 from ..frontend_py import PythonProgram
 from ..perf import PERF
 from ..pipeline import CompileResult, generate_program, resolve_pipeline, result_from_payload
 from ..pipeline.spec import PipelineLike, pipeline_label
 from .cache import CompileCache, cache_key
+from .resilience import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -47,7 +67,11 @@ class CompileRequest:
     """One item of a batch: a (source, pipeline, function) triple.
 
     ``pipeline`` is a registered pipeline name or a
-    :class:`~repro.pipeline.PipelineSpec`.
+    :class:`~repro.pipeline.PipelineSpec`.  ``timeout`` is this request's
+    deadline in seconds: pure compile stages check it cooperatively (a
+    worker reports :class:`~repro.errors.CompileTimeout` when it is
+    exceeded), and it is threaded down to the toolchain's hard
+    process-group deadline for native builds.
     """
 
     #: C source text or a Python-frontend program (both are picklable and
@@ -56,6 +80,9 @@ class CompileRequest:
     pipeline: PipelineLike = "dcir"
     function: Optional[str] = None
     name: Optional[str] = None  # display label; defaults to the pipeline name
+    #: Per-request deadline in seconds (None: unbounded pure stages; the
+    #: toolchain still enforces its own ``REPRO_CC_TIMEOUT`` default).
+    timeout: Optional[float] = None
 
     @property
     def label(self) -> str:
@@ -64,7 +91,13 @@ class CompileRequest:
 
 @dataclass
 class BatchOutcome:
-    """Per-item result of :func:`compile_many`: a result or a captured error."""
+    """Per-item result of :func:`compile_many`: a result or a captured error.
+
+    ``attempts`` counts every dispatch of the request, including ones
+    lost to worker death; ``failure_kind`` is the taxonomy bucket of the
+    final error (see :func:`repro.errors.failure_kind`) so reports can
+    aggregate *classes* of failure instead of string-matching messages.
+    """
 
     request: CompileRequest
     result: Optional[CompileResult] = None
@@ -72,6 +105,8 @@ class BatchOutcome:
     error_type: Optional[str] = None
     error_traceback: Optional[str] = None
     seconds: float = 0.0
+    attempts: int = 1
+    failure_kind: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -80,6 +115,11 @@ class BatchOutcome:
     @property
     def cache_hit(self) -> bool:
         return bool(self.result is not None and self.result.cache_hit)
+
+    @property
+    def degraded(self) -> Optional[str]:
+        """Why this item's execution backend degraded, when it did."""
+        return self.result.backend_diagnostic if self.result is not None else None
 
 
 RequestLike = Union[CompileRequest, Tuple, Dict, str, "PythonProgram"]
@@ -110,20 +150,43 @@ def _compile_payload(request: CompileRequest) -> Dict:
 
     Must stay module-level and return only pickle-friendly data so it works
     identically under ``ProcessPoolExecutor`` (pickled across the fork)
-    and ``ThreadPoolExecutor``.
+    and ``ThreadPoolExecutor``.  The request's deadline is enforced
+    cooperatively: pure Python stages cannot be preempted, so it is
+    checked before starting and after finishing — a blown deadline
+    reports :class:`~repro.errors.CompileTimeout` rather than returning
+    late work as if nothing happened.
     """
+    plan = active_plan()
+    if plan is not None:
+        plan.maybe_kill_worker()  # no-op outside marked pool workers
     start = time.perf_counter()
     try:
+        budget = request.timeout
+        if budget is not None and budget <= 0:
+            raise CompileTimeout(
+                f"request deadline of {budget:g}s was already spent before "
+                "compilation started",
+                seconds=budget,
+            )
         payload = generate_program(
             request.source, request.pipeline, function=request.function
         ).to_payload()
-        return {"ok": True, "payload": payload, "seconds": time.perf_counter() - start}
+        elapsed = time.perf_counter() - start
+        if budget is not None and elapsed > budget:
+            raise CompileTimeout(
+                f"pure compile stages took {elapsed:.3f}s, past the "
+                f"request's {budget:g}s deadline",
+                seconds=budget,
+            )
+        return {"ok": True, "payload": payload, "seconds": elapsed}
     except Exception as exc:  # per-item isolation: a bad kernel must not kill the sweep
         return {
             "ok": False,
-            "error": str(exc),
+            "error": str(exc) or type(exc).__name__,
             "error_type": type(exc).__name__,
             "error_traceback": traceback.format_exc(),
+            "failure_kind": failure_kind(exc),
+            "transient": isinstance(exc, TransientError),
             "seconds": time.perf_counter() - start,
         }
 
@@ -133,6 +196,8 @@ def compile_many(
     executor: Optional[str] = None,
     max_workers: Optional[int] = None,
     cache: Optional[CompileCache] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    timeout: Optional[float] = None,
 ) -> List[BatchOutcome]:
     """Compile a batch of requests, in parallel, with per-item error capture.
 
@@ -141,9 +206,23 @@ def compile_many(
     are served without entering the pool and fresh payloads are stored back,
     so a batch both benefits from and warms the cache.  The returned list
     is index-aligned with ``items``; failed items carry the error message,
-    type and traceback instead of a result.
+    type, traceback, attempt count and taxonomy kind instead of a result.
+
+    ``timeout`` is a default per-request deadline applied to requests that
+    do not carry their own.  Transient failures are re-dispatched under
+    ``retry_policy`` (default: :meth:`RetryPolicy.from_env`) with its
+    backoff between waves; permanent failures are never retried.  A dead
+    pool worker takes its whole process pool down — the batch respawns
+    the pool once and re-dispatches only the requests whose futures were
+    lost, so one OOM-killed worker costs one wave, not the sweep.
     """
     requests = [as_request(item) for item in items]
+    if timeout is not None:
+        requests = [
+            request if request.timeout is not None else replace(request, timeout=timeout)
+            for request in requests
+        ]
+    policy = retry_policy if retry_policy is not None else RetryPolicy.from_env()
     outcomes: List[Optional[BatchOutcome]] = [None] * len(requests)
 
     # Resolve pipeline designators and cache keys up front: unknown names
@@ -180,6 +259,8 @@ def compile_many(
     if kind not in ("process", "thread", "serial"):
         raise ValueError(f"Unknown executor {kind!r}; choose 'process', 'thread' or 'serial'")
 
+    attempts: Dict[int, int] = {index: 0 for index in pending}
+
     def finish(index: int, report: Dict) -> None:
         request = requests[index]
         if report["ok"]:
@@ -188,7 +269,14 @@ def compile_many(
                 cache.store(keys[index], payload)
             result = result_from_payload(payload)
             result.cache_hit = False  # freshly compiled, merely shipped as a payload
-            outcomes[index] = BatchOutcome(request=request, result=result, seconds=report["seconds"])
+            if request.timeout is not None:
+                result.timeout = request.timeout
+            outcomes[index] = BatchOutcome(
+                request=request,
+                result=result,
+                seconds=report["seconds"],
+                attempts=max(1, attempts.get(index, 1)),
+            )
         else:
             outcomes[index] = BatchOutcome(
                 request=request,
@@ -196,48 +284,132 @@ def compile_many(
                 error_type=report["error_type"],
                 error_traceback=report["error_traceback"],
                 seconds=report["seconds"],
+                attempts=max(1, attempts.get(index, 1)),
+                failure_kind=report.get("failure_kind") or failure_kind(report["error_type"]),
             )
+
+    def record_exception(index: int, exc: BaseException) -> None:
+        outcomes[index] = BatchOutcome(
+            request=requests[index],
+            error=str(exc) or type(exc).__name__,
+            error_type=type(exc).__name__,
+            error_traceback=traceback.format_exc(),
+            attempts=max(1, attempts.get(index, 1)),
+            failure_kind=failure_kind(exc),
+        )
+
+    def record_worker_lost(index: int) -> None:
+        outcomes[index] = BatchOutcome(
+            request=requests[index],
+            error=(
+                "process pool worker died (killed or OOM?) and the respawned "
+                "pool died as well; request abandoned"
+            ),
+            error_type="WorkerLost",
+            attempts=max(1, attempts.get(index, 1)),
+            failure_kind=KIND_WORKER_LOST,
+        )
+
+    def wants_retry(index: int, report: Dict) -> bool:
+        return (
+            not report["ok"]
+            and bool(report.get("transient"))
+            and attempts[index] < policy.max_attempts
+        )
+
+    def serial_item(index: int) -> None:
+        """Run one item in-process, honouring the retry policy."""
+        while True:
+            attempts[index] += 1
+            report = _compile_payload(resolved[index])
+            if wants_retry(index, report):
+                PERF.increment("compile_batch.retries")
+                policy.sleep(policy.delay(attempts[index]))
+                continue
+            finish(index, report)
+            return
 
     if kind == "serial" or len(pending) <= 1:
         for index in pending:
-            finish(index, _compile_payload(resolved[index]))
+            serial_item(index)
     else:
         pool_cls = ProcessPoolExecutor if kind == "process" else ThreadPoolExecutor
         workers = max_workers or min(len(pending), os.cpu_count() or 1)
+
+        def make_pool():
+            if pool_cls is ProcessPoolExecutor:
+                # The initializer marks workers expendable, so injected
+                # worker_kill faults only ever fire in pool children.
+                return pool_cls(max_workers=max(1, workers), initializer=mark_pool_worker)
+            return pool_cls(max_workers=max(1, workers))
+
         try:
-            pool = pool_cls(max_workers=max(1, workers))
+            pool = make_pool()
         except (OSError, PermissionError):
             # Sandboxes without fork/spawn support: degrade to serial.
             for index in pending:
-                finish(index, _compile_payload(resolved[index]))
+                serial_item(index)
         else:
-            with pool:
-                futures = {}
-                degraded = False
-                for index in pending:
-                    if not degraded:
+            respawned = False
+            wave = list(pending)
+            try:
+                while wave:
+                    retry_wave: List[int] = []
+                    lost: List[int] = []
+                    futures = {}
+                    degraded = False
+                    for index in wave:
+                        if not degraded:
+                            try:
+                                futures[pool.submit(_compile_payload, resolved[index])] = index
+                                continue
+                            except (OSError, PermissionError, RuntimeError):
+                                # Worker creation is lazy: a sandbox that denies
+                                # fork/spawn fails here, not at pool construction.
+                                # Degrade the rest of the batch to serial.
+                                degraded = True
+                        serial_item(index)
+                    for future, index in futures.items():
+                        attempts[index] += 1
                         try:
-                            futures[pool.submit(_compile_payload, resolved[index])] = index
+                            report = future.result()
+                        except BrokenProcessPool:
+                            # One dead worker breaks the whole pool: every
+                            # in-flight future raises.  Collect the losses;
+                            # recovery is decided once, below.
+                            lost.append(index)
                             continue
-                        except (OSError, PermissionError, RuntimeError):
-                            # Worker creation is lazy: a sandbox that denies
-                            # fork/spawn fails here, not at pool construction.
-                            # Degrade the rest of the batch to serial.
-                            degraded = True
-                    finish(index, _compile_payload(resolved[index]))
-                for future, index in futures.items():
-                    try:
-                        finish(index, future.result())
-                    except Exception as exc:
-                        # A crashed worker (e.g. OOM-killed: BrokenProcessPool)
-                        # must not abort the sweep; collateral pending items
-                        # get the same honest error instead of a result.
-                        outcomes[index] = BatchOutcome(
-                            request=requests[index],
-                            error=str(exc) or type(exc).__name__,
-                            error_type=type(exc).__name__,
-                            error_traceback=traceback.format_exc(),
-                        )
+                        except Exception as exc:
+                            record_exception(index, exc)
+                            continue
+                        if wants_retry(index, report):
+                            PERF.increment("compile_batch.retries")
+                            retry_wave.append(index)
+                            continue
+                        finish(index, report)
+                    if lost:
+                        PERF.increment("compile_batch.workers_lost")
+                        if not respawned:
+                            # Respawn once and re-dispatch only the lost
+                            # requests; completed outcomes are untouched.
+                            respawned = True
+                            pool.shutdown(wait=False)
+                            try:
+                                pool = make_pool()
+                            except (OSError, PermissionError):
+                                for index in lost:
+                                    record_worker_lost(index)
+                            else:
+                                PERF.increment("compile_batch.pool_respawns")
+                                retry_wave.extend(lost)
+                        else:
+                            for index in lost:
+                                record_worker_lost(index)
+                    if retry_wave:
+                        policy.sleep(max(policy.delay(attempts[i]) for i in retry_wave))
+                    wave = retry_wave
+            finally:
+                pool.shutdown()
 
     missing = [index for index, outcome in enumerate(outcomes) if outcome is None]
     if missing:  # pragma: no cover - every path above populates its index
@@ -253,6 +425,8 @@ def compile_specs(
     executor: Optional[str] = None,
     max_workers: Optional[int] = None,
     cache: Optional[CompileCache] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    timeout: Optional[float] = None,
 ) -> List[BatchOutcome]:
     """Compile *one* source through many pipelines — the sweep/tuning shape.
 
@@ -276,4 +450,6 @@ def compile_specs(
         executor=executor,
         max_workers=max_workers,
         cache=cache,
+        retry_policy=retry_policy,
+        timeout=timeout,
     )

@@ -18,6 +18,17 @@ produces a new address.  Two stores back the cache:
   processes, letting consecutive test or benchmark invocations skip
   compilation entirely.  Set the ``REPRO_CACHE_DIR`` environment variable
   to give every default-constructed cache a persistent directory.
+
+The disk store is self-healing.  Entries are envelopes carrying a format
+stamp and a SHA-256 checksum of the payload (``CACHE_FORMAT``); writes
+are write-to-scratch + atomic rename, so a killed writer can never leave
+a torn entry under the real name.  Readers verify everything anyway —
+files written by older library versions, truncated by a non-atomic
+writer, or garbled by the disk are *quarantined* (moved into a
+``quarantine/`` subdirectory, counted under the
+``compile_cache.corrupt_evicted`` profiler counter and
+``CacheStats.quarantined``) and reported as a miss, never an exception:
+a corrupt cache costs a recompile, not a batch.
 """
 
 from __future__ import annotations
@@ -32,6 +43,7 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from .. import __version__
+from ..faults import active_plan
 from ..perf import PERF
 from ..pipeline import (
     CompileResult,
@@ -44,6 +56,22 @@ from ..pipeline.spec import PipelineLike
 
 #: Environment variable naming the default on-disk cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Format stamp of on-disk entries.  Entries are checksummed envelopes:
+#: ``{"format": CACHE_FORMAT, "sha256": <hex>, "payload": {...}}``.
+#: Bump when the envelope layout changes; payload compatibility is
+#: versioned separately (``PAYLOAD_VERSION`` inside the payload).
+CACHE_FORMAT = "repro-cache-entry/v2"
+
+#: Subdirectory corrupted/alien entries are moved into (kept, not
+#: deleted: quarantined files are forensic evidence of torn writes).
+QUARANTINE_DIR = "quarantine"
+
+
+def payload_digest(payload: Dict) -> str:
+    """Canonical content checksum of a payload (sorted-key JSON, SHA-256)."""
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def normalize_source(source) -> str:
@@ -99,6 +127,8 @@ class CacheStats:
     disk_hits: int = 0
     stores: int = 0
     evictions: int = 0
+    #: Disk entries that failed integrity validation and were moved aside.
+    quarantined: int = 0
 
     @property
     def requests(self) -> int:
@@ -109,12 +139,14 @@ class CacheStats:
         return self.hits / self.requests if self.requests else 0.0
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.disk_hits, self.stores, self.evictions)
+        return CacheStats(self.hits, self.misses, self.disk_hits, self.stores,
+                          self.evictions, self.quarantined)
 
     def __str__(self) -> str:
         return (
             f"CacheStats(hits={self.hits} (disk {self.disk_hits}), "
-            f"misses={self.misses}, stores={self.stores}, evictions={self.evictions})"
+            f"misses={self.misses}, stores={self.stores}, "
+            f"evictions={self.evictions}, quarantined={self.quarantined})"
         )
 
 
@@ -158,21 +190,67 @@ class CompileCache:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a failed entry aside; corruption costs a recompile, never a crash."""
+        PERF.increment("compile_cache.corrupt_evicted")
+        with self._lock:
+            self.stats.quarantined += 1
+            sequence = self.stats.quarantined
+        target = path.parent / QUARANTINE_DIR / f"{path.name}.{os.getpid()}.{sequence}"
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            path.replace(target)
+        except OSError:
+            try:
+                path.unlink()  # quarantine dir unusable: evict in place
+            except OSError:
+                pass  # racing reader already moved it, or read-only store
+
     def _read_disk(self, key: str) -> Optional[Dict]:
-        """Read and validate a disk entry; None for missing/corrupt/stale.
+        """Read and *verify* a disk entry; None for missing/corrupt/stale.
 
         The single source of truth for disk-entry validity — ``lookup`` and
         ``__contains__`` both route through it, so they can never disagree
-        on whether a stale or incompatible entry "exists".
+        on whether a stale or incompatible entry "exists".  Anything that
+        fails verification — unparseable JSON (truncated by a torn
+        write), an alien envelope format, a checksum mismatch, a stale
+        payload version — is quarantined and reported as a miss; this
+        method never raises for bad data.
         """
         path = self._disk_path(key)
         if path is None or not path.exists():
             return None
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return None  # corrupt/racing entry: treat as a miss
-        return payload if _valid_payload(payload) else None
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None  # unreadable (permissions, racing unlink): plain miss
+        try:
+            document = json.loads(text)
+        except ValueError:
+            self._quarantine(path, "unparseable JSON (torn write?)")
+            return None
+        if not isinstance(document, dict):
+            self._quarantine(path, "entry is not a JSON object")
+            return None
+        if "format" in document:
+            if document.get("format") != CACHE_FORMAT:
+                self._quarantine(path, f"alien entry format {document.get('format')!r}")
+                return None
+            payload = document.get("payload")
+            if not isinstance(payload, dict):
+                self._quarantine(path, "envelope carries no payload object")
+                return None
+            if document.get("sha256") != payload_digest(payload):
+                self._quarantine(path, "payload checksum mismatch")
+                return None
+        else:
+            # Pre-envelope entry (a bare payload written by an older
+            # library version): no checksum to verify, validated below.
+            payload = document
+        if not _valid_payload(payload):
+            self._quarantine(path, "stale or incompatible payload version")
+            return None
+        return payload
 
     def lookup(self, key: str) -> Optional[Dict]:
         """Fetch a payload by key, promoting disk entries into memory."""
@@ -194,17 +272,32 @@ class CompileCache:
         return None
 
     def store(self, key: str, payload: Dict) -> None:
-        """Insert a payload into the memory LRU and (if enabled) the disk store."""
+        """Insert a payload into the memory LRU and (if enabled) the disk store.
+
+        Disk entries are checksummed envelopes written to a scratch file
+        and atomically renamed into place: a writer killed at any point
+        leaves either the previous entry or a stray scratch file — never
+        a torn entry under the real name.
+        """
         with self._lock:
             self._memory_put(key, payload)
             self.stats.stores += 1
         path = self._disk_path(key)
         if path is None:
             return
+        text = json.dumps(
+            {"format": CACHE_FORMAT, "sha256": payload_digest(payload), "payload": payload}
+        )
+        plan = active_plan()
+        if plan is not None:
+            # Fault seam: a torn (truncated) write, as a non-atomic writer
+            # killed mid-write would produce.  Written under the real name
+            # on purpose — it must exercise the reader's quarantine path.
+            text = plan.corrupt_cache_text(text)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             scratch = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-            scratch.write_text(json.dumps(payload), encoding="utf-8")
+            scratch.write_text(text, encoding="utf-8")
             scratch.replace(path)  # atomic: concurrent readers see old or new
         except OSError:
             pass  # a read-only or full disk must not fail compilation

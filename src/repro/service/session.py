@@ -14,10 +14,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..errors import failure_kind as classify_failure
 from ..pipeline import PAPER_PIPELINES, CompileResult, resolve_pipeline, run_compiled
 from ..pipeline.spec import PipelineLike, pipeline_label
 from .batch import BatchOutcome, CompileRequest, compile_many
 from .cache import CacheStats, CompileCache
+from .resilience import RetryPolicy, validate_degradation
 
 
 @dataclass
@@ -38,6 +40,13 @@ class SuiteEntry:
     moved_bytes: Optional[float] = None
     error: Optional[str] = None
     error_type: Optional[str] = None
+    #: Taxonomy bucket of the error (see :func:`repro.errors.failure_kind`).
+    failure_kind: Optional[str] = None
+    #: Total compile dispatches this cell consumed (retries included).
+    attempts: int = 1
+    #: Diagnostic recorded when this cell's execution backend degraded
+    #: (e.g. a native build that fell back to the interpreted runner).
+    degraded: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -57,11 +66,15 @@ class SuiteEntry:
             "moved_bytes": self.moved_bytes,
             "error": self.error,
             "error_type": self.error_type,
+            "failure_kind": self.failure_kind,
+            "attempts": self.attempts,
+            "degraded": self.degraded,
         }
 
 
 #: JSON schema tag of :meth:`SuiteReport.to_dict` documents.
-SUITE_SCHEMA = "repro-suite/v1"
+#: (v2: entries carry ``failure_kind``/``attempts``/``degraded``.)
+SUITE_SCHEMA = "repro-suite/v2"
 
 
 @dataclass
@@ -79,6 +92,11 @@ class SuiteReport:
     @property
     def failures(self) -> List[SuiteEntry]:
         return [entry for entry in self.entries if not entry.ok]
+
+    @property
+    def degraded_entries(self) -> List[SuiteEntry]:
+        """Entries that succeeded only by degrading their backend."""
+        return [entry for entry in self.entries if entry.ok and entry.degraded]
 
     @property
     def cache_hits(self) -> int:
@@ -138,6 +156,7 @@ class SuiteReport:
             "version": __version__,
             "wall_seconds": self.wall_seconds,
             "cache_hits": self.cache_hits,
+            "degraded": len(self.degraded_entries),
             "entries": [entry.to_dict() for entry in self.entries],
         }
 
@@ -165,6 +184,12 @@ class SuiteReport:
             f"total: compile {self.compile_seconds:.2f}s, run {self.run_seconds:.2f}s, "
             f"{self.cache_hits}/{len(self.entries)} cache hits, wall {self.wall_seconds:.2f}s"
         )
+        degraded = self.degraded_entries
+        if degraded:
+            lines.append(
+                f"degraded backends: {len(degraded)} entries fell back "
+                "(see SuiteEntry.degraded for diagnostics)"
+            )
         return "\n".join(lines)
 
 
@@ -174,7 +199,16 @@ WorkloadsLike = Union[Mapping[str, str], Iterable[Tuple[str, str]]]
 
 
 class Session:
-    """A compilation service session: cache + executor policy + suite runner."""
+    """A compilation service session: cache + executor policy + suite runner.
+
+    The session also carries the robustness policy every compile under it
+    inherits: a default per-request ``timeout`` (seconds), a
+    ``retry_policy`` for transient failures (default: environment-driven
+    :meth:`~repro.service.resilience.RetryPolicy.from_env`), and a
+    ``degradation`` mode — ``"fallback"`` (a failed native backend
+    degrades to the interpreted one, recorded per entry) or ``"strict"``
+    (failures surface as typed errors).
+    """
 
     def __init__(
         self,
@@ -182,34 +216,53 @@ class Session:
         cache_dir: Optional[str] = None,
         executor: Optional[str] = None,
         max_workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        degradation: str = "fallback",
     ):
         if cache is not None and cache_dir is not None:
             raise ValueError("Pass either a cache instance or cache_dir, not both")
         self.cache = cache if cache is not None else CompileCache(directory=cache_dir)
         self.executor = executor
         self.max_workers = max_workers
+        self.timeout = timeout
+        self.retry_policy = retry_policy
+        self.degradation = validate_degradation(degradation)
 
     @property
     def stats(self) -> CacheStats:
         return self.cache.stats
+
+    def _apply_policy(self, result: CompileResult) -> CompileResult:
+        """Stamp the session's degradation/deadline policy onto a result."""
+        result.degradation = self.degradation
+        if self.timeout is not None and result.timeout is None:
+            result.timeout = self.timeout
+        return result
 
     def compile(
         self, source: str, pipeline: PipelineLike = "dcir", function: Optional[str] = None
     ) -> CompileResult:
         """Cached single compile of a pipeline name or spec
         (see :meth:`CompileCache.get_or_compile`)."""
-        return self.cache.get_or_compile(source, pipeline, function=function)
+        return self._apply_policy(self.cache.get_or_compile(source, pipeline, function=function))
 
     def compile_many(
         self, items: Iterable, executor: Optional[str] = None, max_workers: Optional[int] = None
     ) -> List[BatchOutcome]:
         """Cached parallel batch compile with per-item error capture."""
-        return compile_many(
+        outcomes = compile_many(
             items,
             executor=executor or self.executor,
             max_workers=max_workers or self.max_workers,
             cache=self.cache,
+            retry_policy=self.retry_policy,
+            timeout=self.timeout,
         )
+        for outcome in outcomes:
+            if outcome.result is not None:
+                self._apply_policy(outcome.result)
+        return outcomes
 
     def run_suite(
         self,
@@ -271,6 +324,8 @@ class Session:
                 entry.compile_seconds = outcome.seconds
                 entry.error = outcome.error
                 entry.error_type = outcome.error_type
+                entry.failure_kind = outcome.failure_kind
+                entry.attempts = outcome.attempts
                 report.entries.append(entry)
                 continue
             if outcome is not None:
@@ -280,6 +335,7 @@ class Session:
                 compiled = outcome.result
                 entry.compile_seconds = outcome.seconds
                 entry.cache_hit = outcome.cache_hit
+                entry.attempts = outcome.attempts
             else:
                 compile_start = time.perf_counter()
                 try:
@@ -288,6 +344,8 @@ class Session:
                     entry.compile_seconds = time.perf_counter() - compile_start
                     entry.error = str(exc)
                     entry.error_type = type(exc).__name__
+                    entry.failure_kind = classify_failure(exc)
+                    entry.attempts = max(1, getattr(exc, "attempts", 1))
                     report.entries.append(entry)
                     continue
                 entry.compile_seconds = time.perf_counter() - compile_start
@@ -300,10 +358,13 @@ class Session:
             except Exception as exc:
                 entry.error = str(exc)
                 entry.error_type = type(exc).__name__
+                entry.failure_kind = classify_failure(exc)
+                entry.degraded = compiled.backend_diagnostic
                 report.entries.append(entry)
                 continue
             entry.run_seconds = run.seconds
             entry.allocations = run.allocations
+            entry.degraded = compiled.backend_diagnostic
             value = run.return_value
             entry.return_value = float(value) if value is not None else None
             report.entries.append(entry)

@@ -34,7 +34,7 @@ from repro import (
     unregister_pipeline,
 )
 from repro.pipeline import CompileResult, pipeline_label
-from repro.service import cache_key
+from repro.service import cache_key, payload_digest
 
 _SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
 
@@ -481,10 +481,13 @@ class TestContainsValidation:
         assert key in fresh
 
         # Corrupt the version: the entry must report absent, like lookup.
+        # (Disk entries are checksummed envelopes; re-seal the digest so
+        # this tests version staleness, not checksum corruption.)
         path = tmp_path / f"{key}.json"
-        payload = json.loads(path.read_text())
-        payload["version"] = -1
-        path.write_text(json.dumps(payload), encoding="utf-8")
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["version"] = -1
+        envelope["sha256"] = payload_digest(envelope["payload"])
+        path.write_text(json.dumps(envelope), encoding="utf-8")
         stale = _fresh_cache(directory=tmp_path)
         assert key not in stale
         assert stale.lookup(key) is None

@@ -117,13 +117,19 @@ class TestCacheSemantics:
         assert warm.run()["__return"] == cold.run()["__return"]
 
     def test_stale_payload_version_is_a_miss(self, tmp_path):
+        from repro.service import payload_digest
+
         cache = _fresh_cache(directory=tmp_path)
         key = cache_key(SAXPY, "gcc")
         cache.get_or_compile(SAXPY, "gcc")
         path = tmp_path / f"{key}.json"
-        payload = json.loads(path.read_text())
-        payload["version"] = -1
-        path.write_text(json.dumps(payload), encoding="utf-8")
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["version"] = -1
+        # Re-seal the checksum so this tests *version* staleness, not the
+        # integrity check (a stale checksum would also be rejected, but
+        # through the corruption path).
+        envelope["sha256"] = payload_digest(envelope["payload"])
+        path.write_text(json.dumps(envelope), encoding="utf-8")
         result = _fresh_cache(directory=tmp_path).get_or_compile(SAXPY, "gcc")
         assert not result.cache_hit  # incompatible entries never rehydrate
 
@@ -134,7 +140,8 @@ class TestCacheSemantics:
         result = cache.get_or_compile(SAXPY, "gcc")
         assert not result.cache_hit
         # The store was repaired: the entry is readable again.
-        assert json.loads((tmp_path / f"{key}.json").read_text())["pipeline"] == "gcc"
+        entry = json.loads((tmp_path / f"{key}.json").read_text())
+        assert entry["payload"]["pipeline"] == "gcc"
 
     def test_cross_invocation_disk_cache(self, tmp_path):
         # CI runs this test in two consecutive pytest invocations with a

@@ -25,7 +25,7 @@ from repro import (
 )
 from repro.__main__ import main as cli_main
 from repro.perf.bench import compare_bench
-from repro.service import CompileCache, compile_specs
+from repro.service import SUITE_SCHEMA, CompileCache, compile_specs
 from repro.tuning import (
     Candidate,
     ExhaustiveStrategy,
@@ -467,7 +467,7 @@ class TestReportsSelfDescribing:
             {"gemm": get_kernel("gemm", SIZES)}, pipelines=("gcc", "dcir")
         )
         document = suite.to_dict()
-        assert document["schema"] == "repro-suite/v1"
+        assert document["schema"] == SUITE_SCHEMA
         assert document["version"] == __version__
         assert len(document["entries"]) == 2
         for entry in document["entries"]:
