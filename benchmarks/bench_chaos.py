@@ -349,11 +349,14 @@ def run_bench_chaos(
         if name not in KNOWN_FAULTS:
             raise ValueError(f"Unknown fault class {name!r}; known: {KNOWN_FAULTS}")
 
+    from repro.perf.bench import machine_metadata
+
     document: Dict = {
         "schema": SCHEMA,
         "version": __version__,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "machine": machine_metadata(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "seed": seed,
         "kernels": names,

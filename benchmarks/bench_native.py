@@ -112,9 +112,12 @@ def run_bench_native(kernels: Optional[List[str]] = None, repetitions: int = 3) 
         entries.append(row)
 
     ranking = _ranking_agreement(names, repetitions) if native_available else None
+    from repro.perf.bench import machine_metadata
+
     return {
         "schema": SCHEMA,
         "version": __version__,
+        "machine": machine_metadata(probe_openmp=True),
         "repetitions": repetitions,
         "native_available": native_available,
         "entries": entries,

@@ -124,9 +124,12 @@ def run_bench_python_frontend(
             row["pipelines"][pipeline] = cell
         entries.append(row)
 
+    from repro.perf.bench import machine_metadata
+
     return {
         "schema": SCHEMA,
         "version": __version__,
+        "machine": machine_metadata(probe_openmp=True),
         "repetitions": repetitions,
         "native_available": native_available,
         "entries": entries,

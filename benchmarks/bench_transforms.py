@@ -93,9 +93,12 @@ def run_bench_transforms(kernels: Optional[List[str]] = None) -> Dict:
             "addition_delta": additions,
         })
 
+    from repro.perf.bench import machine_metadata
+
     return {
         "schema": SCHEMA,
         "version": __version__,
+        "machine": machine_metadata(),
         "base": {"pipeline": "dcir", "content_id": base_spec.content_id()},
         "entries": entries,
     }

@@ -65,6 +65,7 @@ def main() -> None:
     print("\n".join(dcir.code.splitlines()[:25]))
 
     native_backend_demo()
+    parallel_demo()
     custom_pipeline_demo()
     service_demo()
     chaos_demo()
@@ -96,6 +97,40 @@ def native_backend_demo() -> None:
     print(f"  interpreted: {interpreted.seconds * 1e6:9.1f}us   "
           f"native: {native.seconds * 1e6:9.1f}us   "
           f"same result: {native.return_value == interpreted.return_value}")
+
+
+def parallel_demo() -> None:
+    """Map schedules: prove outer maps parallel, then execute them that way.
+
+    The ``parallelize`` pass annotates exactly the maps the safety
+    analysis proves free of cross-iteration write conflicts (WCR
+    updates become reductions or atomics).  Both backends honor the
+    annotation — OpenMP pragmas in the native C, a fork/join
+    shared-memory executor in the interpreted Python — and degrade to
+    plain sequential loops on machines that cannot fan out, so the
+    demo is correct everywhere and only *faster* with cores to spare.
+    """
+    from repro.sdfg import SCHEDULE_PARALLEL
+    from repro.workloads import get_kernel
+
+    source = get_kernel("atax", {"M": 96, "N": 96})
+    base = get_pipeline("dcir")
+    passes = [(p.name, dict(p.params)) for p in base.data_passes]
+    parallel = base.with_passes("data", passes + [("parallelize", {"n_threads": 2})])
+
+    sequential = run_compiled(compile_c(source, base), repetitions=3)
+    compiled = compile_c(source, parallel)
+    measured = run_compiled(compiled, repetitions=3)
+    annotated = sum(
+        1 for _, entry in compiled.sdfg.map_entries()
+        if entry.map.schedule == SCHEDULE_PARALLEL
+    )
+    drift = abs(measured.return_value - sequential.return_value)
+    drift /= max(1.0, abs(sequential.return_value))
+    print(f"\nparallel schedules (atax, 2 workers): {annotated} map(s) annotated")
+    print(f"  sequential: {sequential.seconds * 1e3:8.2f}ms   "
+          f"parallel: {measured.seconds * 1e3:8.2f}ms   "
+          f"relative drift: {drift:.2e} (<= 1e-12)")
 
 
 def custom_pipeline_demo() -> None:

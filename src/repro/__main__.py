@@ -187,6 +187,24 @@ def _load_pipeline(args) -> PipelineLike:
             pipeline = spec.with_codegen(backend=backend).derive(
                 name=spec.name, description=spec.description
             )
+    threads = getattr(args, "threads", None)
+    if threads is not None:
+        from .pipeline import resolve_pipeline
+
+        if threads < 0:
+            raise SystemExit(f"--threads must be >= 0 (got {threads})")
+        spec = resolve_pipeline(pipeline)
+        if not spec.bridge:
+            raise SystemExit(
+                f"--threads requires a data-centric pipeline (map schedules "
+                f"live on the SDFG; {spec.label!r} never builds one)"
+            )
+        if all(pass_spec.name != "parallelize" for pass_spec in spec.data_passes):
+            params = {"n_threads": threads} if threads > 0 else {}
+            passes = list(spec.data_passes) + [("parallelize", params)]
+            pipeline = spec.with_passes("data", passes).derive(
+                name=spec.name, description=spec.description
+            )
     return pipeline
 
 
@@ -219,6 +237,12 @@ def _add_compile_arguments(parser: argparse.ArgumentParser) -> None:
         choices=("python", "native"),
         help="execution backend for data-centric pipelines: interpreted "
         "Python (default) or C compiled with the system compiler",
+    )
+    parser.add_argument(
+        "--threads", type=int, metavar="N",
+        help="request parallel map schedules (appends the 'parallelize' "
+        "pass): N > 0 pins the worker count, 0 resolves it at run time "
+        "from REPRO_NUM_THREADS or the machine",
     )
 
 

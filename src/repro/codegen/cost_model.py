@@ -18,7 +18,8 @@ from typing import Dict, Mapping, Optional, Tuple
 from ..symbolic import Expr, Integer, SymbolicError
 from ..sdfg import SDFG, AccessNode, SDFGState
 from ..sdfg.data import Array, LIFETIME_PERSISTENT, Scalar
-from ..sdfg.nodes import MapEntry
+from ..sdfg.nodes import MapEntry, SCHEDULE_PARALLEL
+from ..sdfg.parallelism import default_workers
 from .control_flow import (
     BranchNode,
     ControlFlowNode,
@@ -75,6 +76,14 @@ ALLOCATION_COST_BYTES = 256.0
 #: vector emission (one vector operation instead of N scalar iterations)
 #: visible to the static evaluator.
 ITERATION_COST_BYTES = 2.0
+
+#: Iterations-equivalent fork/join overhead charged per dynamic execution
+#: of a parallel-scheduled map scope.  Spawning and joining workers costs
+#: real time regardless of the range, so a parallel schedule only wins in
+#: the static model when the per-worker share of the body executions
+#: shrinks by more than this constant — which is what keeps the tuner from
+#: parallelizing tiny maps.
+PARALLEL_FORK_JOIN_ITERATIONS = 512.0
 
 
 def movement_score(
@@ -169,13 +178,19 @@ def _map_body_executions(map_obj, symbols) -> float:
     """Dynamic body executions of one map scope per enclosing execution.
 
     The range product for scalar loops; 1 for maps annotated for vector
-    emission (the body runs as a single vector operation).
+    emission (the body runs as a single vector operation).  A
+    parallel-scheduled map charges the per-worker share of its body
+    executions (its critical path) plus a fork/join constant — byte
+    traffic is unchanged, since parallelism moves the same data.
     """
     if map_obj.vectorized:
         return 1.0
     product = 1.0
     for rng in map_obj.ranges:
         product *= max(1.0, _evaluate(rng.num_elements(), symbols, default=1.0))
+    if map_obj.schedule == SCHEDULE_PARALLEL:
+        workers = float(map_obj.n_threads or default_workers())
+        return max(1.0, product / max(1.0, workers)) + PARALLEL_FORK_JOIN_ITERATIONS
     return product
 
 

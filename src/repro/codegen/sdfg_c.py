@@ -63,7 +63,8 @@ from ..symbolic.expr import (
 )
 from ..sdfg import SDFG, AccessNode, Memlet, SDFGState, Scalar, Tasklet
 from ..sdfg.data import Array, DTYPES, LIFETIME_PERSISTENT, Stream
-from ..sdfg.nodes import MapEntry, MapExit, is_scope_entry, is_scope_exit
+from ..sdfg.nodes import MapEntry, MapExit, SCHEDULE_PARALLEL, is_scope_entry, is_scope_exit
+from ..sdfg.parallelism import NUM_THREADS_ENV, ParallelismInfo, analyze_map_parallelism
 from .control_flow import (
     BranchNode,
     ControlFlowNode,
@@ -109,6 +110,30 @@ static inline int64_t repro_max_i64(int64_t a, int64_t b) { return a > b ? a : b
 static inline double repro_min_f64(double a, double b) { return a < b ? a : b; }
 static inline double repro_max_f64(double a, double b) { return a > b ? a : b; }
 static inline int64_t repro_abs_i64(int64_t a) { return a < 0 ? -a : a; }\
+"""
+
+#: Worker-count resolution for parallel map schedules, emitted only when
+#: the SDFG contains a provably parallel map (sequential translation
+#: units stay byte-identical).  Resolution order matches the interpreted
+#: backend: explicit ``n_threads`` annotation, then the environment
+#: override, then the OpenMP runtime default (1 without OpenMP).
+_OMP_HELPERS = f"""\
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+static inline int repro_omp_threads(int64_t requested) {{
+    if (requested > 0) return (int)requested;
+    const char *env = getenv("{NUM_THREADS_ENV}");
+    if (env && env[0]) {{
+        int value = atoi(env);
+        if (value > 0) return value;
+    }}
+#ifdef _OPENMP
+    return omp_get_max_threads();
+#else
+    return 1;
+#endif
+}}\
 """
 
 
@@ -458,6 +483,20 @@ class SDFGCGenerator:
         self._declared: Set[str] = set()
         self._heap: List[str] = []
         self._interface = self._interface_containers()
+        # Parallel-scheduled map scopes whose safety proof succeeds; maps
+        # annotated parallel that fail the proof lower sequentially (the
+        # annotation is a request, the proof is the authority).
+        self._parallel_maps: Dict[int, ParallelismInfo] = {}
+        self._atomic_edges: Set[int] = set()
+        for state, entry in sdfg.map_entries():
+            if entry.map.schedule != SCHEDULE_PARALLEL:
+                continue
+            if state.scope_dict().get(entry) is not None:
+                continue
+            info = analyze_map_parallelism(sdfg, state, entry)
+            if info.ok:
+                self._parallel_maps[id(entry)] = info
+                self._atomic_edges |= info.atomic_edges
 
     # -- public -------------------------------------------------------------------
     def generate(self) -> str:
@@ -470,6 +509,9 @@ class SDFGCGenerator:
         writer.emit()
         for line in _HELPERS.splitlines():
             writer.emit(line)
+        if self._parallel_maps:
+            for line in _OMP_HELPERS.splitlines():
+                writer.emit(line)
         writer.emit()
         with writer.brace(f"void {ENTRY_SYMBOL}({self._signature()})"):
             self._emit_prologue()
@@ -860,6 +902,7 @@ class SDFGCGenerator:
             return
         descriptor = self.sdfg.arrays[data]
         writer = self.writer
+        atomic = id(edge) in self._atomic_edges
         if isinstance(descriptor, Scalar):
             self._emit_update(data, descriptor, memlet.wcr, value_expr)
             return
@@ -873,7 +916,7 @@ class SDFGCGenerator:
             return
         if memlet.subset.is_point():
             target = f"{data}{self._flat_index(descriptor, memlet.subset.indices())}"
-            self._emit_update(target, descriptor, memlet.wcr, value_expr)
+            self._emit_update(target, descriptor, memlet.wcr, value_expr, atomic=atomic)
             return
         if self._covers_whole(descriptor, memlet.subset) and memlet.dynamic:
             return
@@ -881,9 +924,22 @@ class SDFGCGenerator:
             f"Strided subset write to {data!r} is not expressible in scalar C"
         )
 
-    def _emit_update(self, target: str, descriptor, wcr: Optional[str], value_expr: str) -> None:
-        """One write-conflict-resolved update: WCR memlets accumulate in place."""
+    def _emit_update(
+        self, target: str, descriptor, wcr: Optional[str], value_expr: str,
+        atomic: bool = False,
+    ) -> None:
+        """One write-conflict-resolved update: WCR memlets accumulate in place.
+
+        ``atomic`` marks ``+``/``*`` WCR updates inside a parallel map
+        whose target the partition proof could not privatize; the update
+        statement itself is unchanged, so sequential builds stay
+        byte-identical and non-OpenMP builds compile the same code.
+        """
         writer = self.writer
+        if atomic and wcr in ("+", "*"):
+            writer.emit("#ifdef _OPENMP")
+            writer.emit("#pragma omp atomic")
+            writer.emit("#endif")
         if wcr in ("min", "max"):
             suffix = "f64" if descriptor.dtype.startswith("float") else "i64"
             writer.emit(f"{target} = repro_{wcr}_{suffix}({target}, {value_expr});")
@@ -909,8 +965,9 @@ class SDFGCGenerator:
             (self.vectorize or entry.map.vectorized)
             and vectorizable_map(state, entry, members)
         )
+        parallel = None if vectorized else self._parallel_maps.get(id(entry))
         opened = 0
-        for param, rng in zip(entry.map.params, entry.map.ranges):
+        for position, (param, rng) in enumerate(zip(entry.map.params, entry.map.ranges)):
             bound = self._bound_counter
             self._bound_counter += 1
             writer.emit(f"const int64_t _lo{bound} = (int64_t)({c_symbolic(rng.start)});")
@@ -921,6 +978,8 @@ class SDFGCGenerator:
                 # A Vectorization(width)-tiled inner map: fixed-width,
                 # single-parameter, WCR-free — safe to ask for SIMD.
                 writer.emit("#pragma GCC ivdep")
+            if parallel is not None and position == 0:
+                self._emit_parallel_pragma(entry, parallel)
             writer.emit(
                 f"for ({declare}{param} = _lo{bound}; {param} < _hi{bound}; "
                 f"{param} += _st{bound}) {{"
@@ -932,6 +991,29 @@ class SDFGCGenerator:
         for _ in range(opened):
             writer.indent -= 1
             writer.emit("}")
+
+    def _emit_parallel_pragma(self, entry: MapEntry, info: ParallelismInfo) -> None:
+        """The ``omp parallel for`` line splitting the chunked parameter.
+
+        The loop variable is implicitly private; remaining scope
+        parameters declared at function scope (interstate loop variables)
+        need an explicit ``private`` clause, ones declared in their own
+        ``for`` init are block-scoped and private already.  Scalar WCR
+        accumulators become ``reduction`` clauses.  ``schedule(static)``
+        keeps chunk assignment deterministic run to run.
+        """
+        writer = self.writer
+        requested = entry.map.n_threads or 0
+        clauses = [f"num_threads(repro_omp_threads({requested}))"]
+        shared_params = [p for p in info.private_params if p in self._declared]
+        if shared_params:
+            clauses.append(f"private({', '.join(shared_params)})")
+        for name, operator in info.reductions:
+            clauses.append(f"reduction({operator}:{name})")
+        clauses.append("schedule(static)")
+        writer.emit("#ifdef _OPENMP")
+        writer.emit(f"#pragma omp parallel for {' '.join(clauses)}")
+        writer.emit("#endif")
 
     def _emit_scope_member(self, state, node, scope, value_names) -> None:
         if isinstance(node, Tasklet):

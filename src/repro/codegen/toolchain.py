@@ -68,8 +68,17 @@ DEFAULT_CC_TIMEOUT = 120.0
 #: Flags used for every native build (part of the .so cache key).
 CFLAGS = ("-std=c11", "-O2", "-fPIC", "-shared")
 
+#: Extra flag appended when (and only when) the source contains OpenMP
+#: pragmas and the compiler is known to support them.
+OPENMP_FLAG = "-fopenmp"
+
 #: Marker line embedding the ABI description in generated C source.
 ABI_MARKER = "REPRO-NATIVE-ABI:"
+
+#: Deadline for one-shot feature probes (``--version``, the OpenMP test
+#: compile).  Probes are best-effort: expiry or failure records "feature
+#: absent" rather than raising.
+PROBE_TIMEOUT = 10.0
 
 def cc_timeout() -> Optional[float]:
     """The compiler-process deadline in seconds (None: disabled)."""
@@ -106,6 +115,101 @@ def have_compiler() -> bool:
     return find_compiler() is not None
 
 
+@dataclass(frozen=True)
+class CompilerFeatures:
+    """Once-per-process feature record for one compiler executable."""
+
+    #: Absolute path of the probed compiler.
+    path: str
+    #: First line of ``--version`` output (None when the probe failed).
+    version: Optional[str]
+    #: Whether an OpenMP test compile with ``-fopenmp`` succeeded; None
+    #: until something asks for an OpenMP build (the probe is lazy so
+    #: plain sequential compiles never spawn extra compiler processes —
+    #: fault-injection stubs see exactly the calls they always saw).
+    openmp: Optional[bool]
+
+
+#: Probe results memoized per compiler path for the process lifetime.
+_VERSIONS: Dict[str, Optional[str]] = {}
+_OPENMP: Dict[str, bool] = {}
+
+
+def _probe_version(compiler: str) -> Optional[str]:
+    PERF.increment("toolchain.feature_probes")
+    try:
+        proc = subprocess.run(
+            [compiler, "--version"],
+            capture_output=True, text=True, timeout=PROBE_TIMEOUT,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    lines = (proc.stdout or "").splitlines()
+    return lines[0].strip() if lines else None
+
+
+_OPENMP_PROBE_SOURCE = """\
+#ifdef _OPENMP
+#include <omp.h>
+int main(void) { return omp_get_max_threads() > 0 ? 0 : 1; }
+#else
+#error OpenMP not enabled
+#endif
+"""
+
+
+def _probe_openmp(compiler: str) -> bool:
+    PERF.increment("toolchain.feature_probes")
+    with tempfile.TemporaryDirectory(prefix="repro-omp-probe-") as scratch:
+        source = Path(scratch) / "probe.c"
+        binary = Path(scratch) / "probe.bin"
+        source.write_text(_OPENMP_PROBE_SOURCE, encoding="utf-8")
+        try:
+            proc = subprocess.run(
+                [compiler, OPENMP_FLAG, str(source), "-o", str(binary)],
+                capture_output=True, timeout=PROBE_TIMEOUT,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return False
+        return proc.returncode == 0
+
+
+def compiler_features(
+    compiler: Optional[str] = None, probe_openmp: bool = False,
+) -> Optional[CompilerFeatures]:
+    """Feature record of ``compiler`` (default: the discovered one).
+
+    Each fact is probed at most once per process and per compiler path:
+    the version on the first call, OpenMP support on the first call with
+    ``probe_openmp=True`` (OpenMP builds and bench metadata ask; plain
+    sequential compiles never do).  Returns None without a compiler.
+    """
+    if compiler is None:
+        compiler = find_compiler()
+        if compiler is None:
+            return None
+    if compiler not in _VERSIONS:
+        _VERSIONS[compiler] = _probe_version(compiler)
+    if probe_openmp and compiler not in _OPENMP:
+        supported = _probe_openmp(compiler)
+        _OPENMP[compiler] = supported
+        if supported:
+            PERF.increment("toolchain.openmp_supported")
+    return CompilerFeatures(
+        path=compiler,
+        version=_VERSIONS[compiler],
+        openmp=_OPENMP.get(compiler),
+    )
+
+
+def have_openmp() -> bool:
+    """Whether the discovered compiler accepts ``-fopenmp`` (probed once)."""
+    features = compiler_features(probe_openmp=True)
+    return bool(features and features.openmp)
+
+
 def native_cache_dir() -> Path:
     """Directory holding compiled shared objects (created on demand)."""
     override = os.environ.get(NATIVE_CACHE_ENV)
@@ -117,9 +221,9 @@ def native_cache_dir() -> Path:
     return Path(tempfile.gettempdir()) / f"repro-native-{os.getuid()}"
 
 
-def _source_digest(code: str, compiler: str) -> str:
+def _source_digest(code: str, compiler: str, flags: tuple = CFLAGS) -> str:
     basis = json.dumps(
-        {"code": code, "compiler": os.path.basename(compiler), "flags": CFLAGS},
+        {"code": code, "compiler": os.path.basename(compiler), "flags": flags},
         sort_keys=True,
     )
     return hashlib.sha256(basis.encode("utf-8")).hexdigest()
@@ -197,8 +301,16 @@ def compile_shared(
             else "no 'cc', 'gcc' or 'clang' found on PATH"
         )
         raise ToolchainError(f"No C compiler available ({detail})")
+    flags = CFLAGS
+    if "#pragma omp" in code:
+        # OpenMP build: add -fopenmp only when the (once-per-process)
+        # feature probe says the compiler accepts it.  Without support
+        # the pragmas compile as no-ops — a clean sequential fallback.
+        features = compiler_features(compiler, probe_openmp=True)
+        if features is not None and features.openmp:
+            flags = CFLAGS + (OPENMP_FLAG,)
     directory = native_cache_dir()
-    digest = _source_digest(code, compiler)
+    digest = _source_digest(code, compiler, flags)
     library = directory / f"{name}-{digest[:16]}.so"
     if library.exists():
         PERF.increment("toolchain.so_cache_hits")
@@ -224,7 +336,7 @@ def compile_shared(
         scratch = directory / f".{library.name}.{os.getpid()}.tmp"
         try:
             source_path.write_text(code, encoding="utf-8")
-            command = [compiler, *CFLAGS, "-o", str(scratch), str(source_path), "-lm"]
+            command = [compiler, *flags, "-o", str(scratch), str(source_path), "-lm"]
             _run_compiler(command, timeout)
             scratch.replace(library)  # atomic: concurrent builders see old or new
         finally:
@@ -319,6 +431,17 @@ class CompiledNative:
                 f"Shared object {library} exports no {abi['entry']!r} symbol"
             ) from exc
         function.restype = None
+        if "#pragma omp" in code:
+            # Record what the (memoized) feature probe decided for this
+            # OpenMP translation unit, so callers can tell a parallel
+            # build from a pragma-ignoring sequential fallback.
+            features = compiler_features(probe_openmp=True)
+            if features is not None:
+                abi["toolchain"] = {
+                    "compiler": features.path,
+                    "version": features.version,
+                    "openmp": bool(features.openmp),
+                }
         return cls(code=code, abi=abi, library=library, _function=function)
 
     # -- the interpreted-backend calling convention -----------------------------------

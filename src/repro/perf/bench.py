@@ -49,6 +49,40 @@ QUICK_KERNELS = ("gemm", "atax", "jacobi-1d")
 ZERO_WORK_COUNTERS = ("frontend.runs", "passes.runs", "passes.applied")
 
 
+def machine_metadata(probe_openmp: bool = False) -> Dict:
+    """Provenance of the machine a benchmark document was measured on.
+
+    Stamped into every ``BENCH_*.json`` emitter so committed baselines are
+    self-describing: parallel speedup numbers are meaningless without the
+    core count they were measured with, and compile timings without the
+    compiler that produced them.  ``probe_openmp=True`` additionally
+    test-compiles the OpenMP feature probe (one subprocess, memoized) —
+    benchmarks that never build parallel code skip it.
+    """
+    import os
+
+    from ..codegen import compiler_features
+    from ..sdfg.parallelism import NUM_THREADS_ENV
+
+    metadata: Dict = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "threads_env": os.environ.get(NUM_THREADS_ENV) or None,
+    }
+    try:
+        metadata["available_cpus"] = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        metadata["available_cpus"] = metadata["cpu_count"]
+    features = compiler_features(probe_openmp=probe_openmp)
+    metadata["compiler"] = None if features is None else {
+        "path": features.path,
+        "version": features.version,
+        "openmp": features.openmp,
+    }
+    return metadata
+
+
 def _resolve_workloads(kernels: Optional[Sequence[str]], quick: bool) -> Dict[str, str]:
     from ..passbase import suggest
     from ..errors import PipelineError
@@ -174,6 +208,7 @@ def run_bench(
         "version": __version__,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "machine": machine_metadata(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "quick": bool(quick),
         "repetitions": repetitions,

@@ -77,8 +77,11 @@ SourceLike = Union[str, ProgramLike]
 #: v4: movement snapshots carry the loop/map iteration count the cost
 #: model's iteration-overhead term scores;
 #: v5: payloads carry the native (C) backend's emitted source and the
-#: fallback diagnostic, and specs carry the ``codegen.backend`` axis.)
-PAYLOAD_VERSION = 5
+#: fallback diagnostic, and specs carry the ``codegen.backend`` axis;
+#: v6: map schedules — generated code for parallel-annotated maps embeds
+#: the fork/join executor (interpreted) or OpenMP pragmas (native), so
+#: cached payloads from earlier versions would miss the schedule.)
+PAYLOAD_VERSION = 6
 
 
 @dataclass

@@ -31,10 +31,13 @@ from .nodes import (
     CodeNode,
     ConsumeEntry,
     ConsumeExit,
+    MAP_SCHEDULES,
     Map,
     MapEntry,
     MapExit,
     Node,
+    SCHEDULE_PARALLEL,
+    SCHEDULE_SEQUENTIAL,
     Tasklet,
     is_scope_entry,
     is_scope_exit,
@@ -55,12 +58,15 @@ __all__ = [
     "InvalidSDFGError",
     "LIFETIME_PERSISTENT",
     "LIFETIME_SCOPE",
+    "MAP_SCHEDULES",
     "Map",
     "MapEntry",
     "MapExit",
     "Memlet",
     "MultiConnectorEdge",
     "Node",
+    "SCHEDULE_PARALLEL",
+    "SCHEDULE_SEQUENTIAL",
     "SDFG",
     "SDFGState",
     "STORAGE_HEAP",

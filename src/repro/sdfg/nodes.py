@@ -86,11 +86,25 @@ class Tasklet(CodeNode):
         return names - self.in_connectors - self.out_connectors
 
 
+#: Default map schedule: the body executes as a sequential loop nest.
+SCHEDULE_SEQUENTIAL = "sequential"
+
+#: Parallel map schedule: both backends split the map's *first* parameter
+#: across workers (OpenMP threads natively, forked shared-memory chunk
+#: workers interpreted).  Set by ``Parallelize`` after the safety proof in
+#: :mod:`repro.sdfg.parallelism` succeeds.
+SCHEDULE_PARALLEL = "parallel"
+
+#: The valid values of :attr:`Map.schedule`.
+MAP_SCHEDULES = (SCHEDULE_SEQUENTIAL, SCHEDULE_PARALLEL)
+
+
 class Map:
     """A parametric parallel iteration space shared by an entry/exit pair.
 
     Scheduling annotations set by the parameterized transformations
-    (:mod:`repro.transforms.map_parameterized`):
+    (:mod:`repro.transforms.map_parameterized`,
+    :mod:`repro.transforms.parallelize`):
 
     * ``vectorized`` — emit this map as a vector operation (numpy arange
       semantics) instead of a scalar loop; set by ``Vectorization``.  The
@@ -99,6 +113,13 @@ class Map:
     * ``tiling`` — the tile size this map was strip-mined with; set on the
       *outer* (tile-loop) map by ``MapTiling`` so the pattern does not
       re-match maps it already created.
+    * ``schedule`` — ``"sequential"`` (default; codegen is byte-identical
+      to pre-schedule output) or ``"parallel"`` (the first parameter's
+      loop is split across workers).  Set by ``Parallelize`` only after
+      proving no cross-iteration write conflicts except WCR memlets.
+    * ``n_threads`` — requested worker count for a parallel schedule;
+      ``None`` defers to the ``REPRO_NUM_THREADS`` environment variable
+      and then the machine's core count at run time.
     """
 
     def __init__(self, label: str, params: Sequence[str], ranges: Sequence[Range]):
@@ -109,6 +130,8 @@ class Map:
         self.ranges: List[Range] = list(ranges)
         self.vectorized: bool = False
         self.tiling: Optional[int] = None
+        self.schedule: str = SCHEDULE_SEQUENTIAL
+        self.n_threads: Optional[int] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         spec = ", ".join(f"{p}={r}" for p, r in zip(self.params, self.ranges))

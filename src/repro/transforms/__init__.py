@@ -41,6 +41,7 @@ from .map_parameterized import (
 )
 from .map_transforms import LoopToMap, MapFusion
 from .memlet_consolidation import MemletConsolidation
+from .parallelize import Parallelize
 from .memory_allocation import MemoryPreAllocation, StackPromotion
 from .pipeline import (
     DataCentricPass,
@@ -74,6 +75,7 @@ __all__ = [
     "Match",
     "MemletConsolidation",
     "MemoryPreAllocation",
+    "Parallelize",
     "PipelineReport",
     "RedundantIterationElimination",
     "ScalarToSymbolPromotion",

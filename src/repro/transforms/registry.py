@@ -20,6 +20,7 @@ from .dead_code import (
 )
 from .map_parameterized import MapCollapse, MapInterchange, MapTiling, Vectorization
 from .map_transforms import LoopToMap, MapFusion
+from .parallelize import Parallelize
 from .memlet_consolidation import MemletConsolidation
 from .memory_allocation import MemoryPreAllocation, StackPromotion
 from .state_fusion import StateFusion
@@ -48,6 +49,8 @@ for _cls in (
     MapInterchange,
     MapCollapse,
     Vectorization,
+    # Schedule annotation (tuner ``schedule:`` axis).
+    Parallelize,
 ):
     DATA_PASSES.register(_cls)
 

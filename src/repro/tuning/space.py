@@ -29,7 +29,13 @@ enumerates that neighbourhood of a base :class:`~repro.PipelineSpec`:
 * **match-limit variants** — capping a pattern-based pass at one
   application (``max_applications=1``), the coarse form of per-match
   enable subsets (``only_matches`` remains available through explicit
-  pass params).
+  pass params);
+* **schedule variants** — appending the ``parallelize`` pass
+  (``schedule:parallel``, ``schedule:parallel(n_threads=N)``), the
+  parallel-schedule axis.  ``Parallelize`` is deliberately excluded from
+  the generic addition axis: a schedule is a *request* the safety proof
+  may refuse, so it gets its own origin family with an explicit
+  thread-count sweep instead of being enumerated like a rewrite.
 
 Candidates are deduplicated by spec :meth:`~repro.PipelineSpec.content_id`
 and enumerated in a deterministic order — the foundation of the seeded,
@@ -86,6 +92,7 @@ class SearchSpace:
         parameter_variants: bool = True,
         additions: bool = True,
         limit_variants: bool = True,
+        schedule_variants: bool = True,
     ):
         self.base = resolve_pipeline(base).validate()
         self.base_label = base if isinstance(base, str) else self.base.label
@@ -97,6 +104,7 @@ class SearchSpace:
         self.parameter_variants = parameter_variants
         self.additions = additions
         self.limit_variants = limit_variants
+        self.schedule_variants = schedule_variants
         self._candidates: "List[Candidate] | None" = None
 
     # -- enumeration -----------------------------------------------------------------
@@ -175,6 +183,8 @@ class SearchSpace:
                 found.extend(self._limit_variants(spec))
             if self.additions:
                 found.extend(self._additions(spec))
+            if self.schedule_variants:
+                found.extend(self._schedule_variants(spec))
         return found
 
     # -- transformation-parameter axes -------------------------------------------------
@@ -248,6 +258,37 @@ class SearchSpace:
                     spec=spec.with_passes("data", passes),
                     origin=f"add:{name}({label})" if label else f"add:{name}",
                 ))
+        return found
+
+    def _schedule_variants(self, spec: PipelineSpec) -> List[Candidate]:
+        """The parallel-schedule axis: append the ``parallelize`` pass.
+
+        One candidate per thread-count preset, plus the ``None`` preset
+        (worker count resolved at run time from ``REPRO_NUM_THREADS`` or
+        the machine).  Maps the safety proof refuses simply stay
+        sequential, so every candidate is a valid compilation.
+        """
+        from ..transforms import DATA_PASSES
+        from ..transforms.parallelize import Parallelize
+
+        if not spec.bridge:
+            return []  # schedules annotate SDFG maps
+        if Parallelize.NAME not in DATA_PASSES.names():
+            return []
+        if any(pass_spec.name == Parallelize.NAME for pass_spec in spec.data_passes):
+            return []
+        found: List[Candidate] = []
+        for value in Parallelize.PARAMS.get("n_threads", (None,)):
+            params = {} if value is None else {"n_threads": value}
+            origin = (
+                "schedule:parallel" if value is None
+                else f"schedule:parallel(n_threads={value})"
+            )
+            passes = list(spec.data_passes) + [(Parallelize.NAME, params)]
+            found.append(Candidate(
+                spec=spec.with_passes("data", passes),
+                origin=origin,
+            ))
         return found
 
     def _codegen_mutations(self, spec: PipelineSpec) -> List[Candidate]:
